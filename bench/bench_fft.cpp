@@ -1,0 +1,68 @@
+// Experiment: Theorem 2 / Figure 3 -- MO-FFT.
+//
+// Reproduced claims:
+//   (1) cache complexity O((n/(q_i B_i)) log_{C_i} n) per level;
+//   (2) parallel steps O((n/p + B_1) log n);
+//   (3) the unblocked iterative radix-2 FFT pays log_2(n/C) passes over the
+//       data instead of log_{C} n -- more L1 misses at large n.
+#include <cmath>
+#include <iostream>
+
+#include "algo/fft.hpp"
+#include "bench/common.hpp"
+#include "hm/config.hpp"
+#include "sched/sim_executor.hpp"
+
+using namespace obliv;
+
+namespace {
+
+double log_base(double base, double v) {
+  return std::log(v) / std::log(base);
+}
+
+void run_on_machine(const hm::MachineConfig& cfg) {
+  bench::print_machine(cfg);
+  std::vector<bench::Series> miss(cfg.cache_levels());
+  for (std::uint32_t lvl = 1; lvl <= cfg.cache_levels(); ++lvl) {
+    miss[lvl - 1].name = "MO-FFT L" + std::to_string(lvl) +
+                         " max misses vs (n/(q_i B_i)) log_{C_i} n";
+  }
+  bench::Series steps{"MO-FFT parallel steps (W/p + span) vs (n/p+B_1) log n"};
+  bench::Series iter{"iterative FFT L1 misses vs (n/(q_1 B_1)) log2(n/C_1)"};
+
+  for (std::uint64_t n : {1u << 12, 1u << 14, 1u << 16, 1u << 18}) {
+    sched::SimExecutor ex(cfg);
+    auto buf = ex.make_buf<algo::cplx>(n);
+    for (auto& v : buf.raw()) v = algo::cplx(1.0, 0.0);
+    const auto m = ex.run(6 * n, [&] { algo::mo_fft(ex, buf.ref()); });
+    for (std::uint32_t lvl = 1; lvl <= cfg.cache_levels(); ++lvl) {
+      const double logc = std::max(
+          1.0, log_base(double(cfg.capacity(lvl)), double(n)));
+      miss[lvl - 1].add(
+          double(n), double(m.level_max_misses[lvl - 1]),
+          2.0 * double(n) / (cfg.caches_at(lvl) * cfg.block(lvl)) * logc);
+    }
+    steps.add(double(n), m.parallel_steps(cfg.cores()),
+              (double(n) / cfg.cores() + double(cfg.block(1))) *
+                  util::ilog2(n));
+
+    const auto mi = ex.run(6 * n, [&] { algo::iterative_fft(ex, buf.ref()); });
+    const double passes = std::max(
+        1.0, std::log2(double(n) / double(cfg.capacity(1))));
+    iter.add(double(n), double(mi.level_max_misses[0]),
+             2.0 * double(n) / (cfg.caches_at(1) * cfg.block(1)) * passes);
+  }
+  for (const auto& s : miss) bench::print_series(s);
+  bench::print_series(steps);
+  bench::print_series(iter);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Theorem 2 / Figure 3: MO-FFT");
+  run_on_machine(hm::MachineConfig::shared_l2(4));
+  run_on_machine(hm::MachineConfig::three_level(4, 4));
+  return 0;
+}

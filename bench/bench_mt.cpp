@@ -1,0 +1,79 @@
+// Experiment: Theorem 1 / Figure 2 -- MO-MT matrix transposition.
+//
+// Paper's claims reproduced here:
+//   (1) cache complexity O(n^2/(q_i B_i) + B_i) at every level i, on
+//       machines with different depths -- the bound is oblivious;
+//   (2) parallel steps O(n^2/p + B_1): span stays constant as n grows
+//       (contrast: the recursive cache-oblivious transposition has
+//       Theta(log n) fork depth);
+//   (3) the naive row-major loop misses ~n^2 times (no 1/B factor).
+#include <iostream>
+#include <vector>
+
+#include "algo/transpose.hpp"
+#include "bench/common.hpp"
+#include "hm/config.hpp"
+#include "sched/sim_executor.hpp"
+
+using namespace obliv;
+
+namespace {
+
+void run_on_machine(const hm::MachineConfig& cfg) {
+  bench::print_machine(cfg);
+  std::vector<bench::Series> miss_series(cfg.cache_levels());
+  for (std::uint32_t lvl = 1; lvl <= cfg.cache_levels(); ++lvl) {
+    miss_series[lvl - 1].name =
+        "MO-MT L" + std::to_string(lvl) +
+        " max misses vs n^2/(q_i B_i) + B_i";
+  }
+  bench::Series span_mo{"MO-MT span vs B_1 + n^2/p"};
+  bench::Series span_rec{"recursive transpose span vs (n^2/p + B_1 log n)"};
+  bench::Series naive{"naive transpose L1 misses vs n^2/q_1 (no 1/B)"};
+
+  for (std::uint64_t n : {128u, 256u, 512u, 1024u}) {
+    sched::SimExecutor ex(cfg);
+    auto a = ex.make_buf<double>(n * n);
+    auto out = ex.make_buf<double>(n * n);
+    for (auto& v : a.raw()) v = 1.0;
+    const auto m = ex.run(3 * n * n, [&] {
+      algo::mo_transpose(ex, a.ref(), out.ref(), n);
+    });
+    for (std::uint32_t lvl = 1; lvl <= cfg.cache_levels(); ++lvl) {
+      const double model = double(n * n) /
+                               (cfg.caches_at(lvl) * cfg.block(lvl)) +
+                           double(cfg.block(lvl));
+      miss_series[lvl - 1].add(double(n), double(m.level_max_misses[lvl - 1]),
+                               model);
+    }
+    span_mo.add(double(n), double(m.span),
+                double(cfg.block(1)) + double(n * n) / cfg.cores());
+
+    const auto mr = ex.run(3 * n * n, [&] {
+      algo::recursive_transpose(ex, a.ref(), out.ref(), n);
+    });
+    span_rec.add(double(n), double(mr.span),
+                 double(n * n) / cfg.cores() +
+                     double(cfg.block(1)) * util::ilog2(n));
+
+    const auto mn = ex.run(3 * n * n, [&] {
+      algo::naive_transpose(ex, a.ref(), out.ref(), n);
+    });
+    naive.add(double(n), double(mn.level_max_misses[0]),
+              double(n * n) / cfg.caches_at(1));
+  }
+  for (const auto& s : miss_series) bench::print_series(s);
+  bench::print_series(span_mo);
+  bench::print_series(span_rec);
+  bench::print_series(naive);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Theorem 1 / Figure 2: MO-MT matrix transposition");
+  run_on_machine(hm::MachineConfig::shared_l2(4));
+  run_on_machine(hm::MachineConfig::three_level(4, 4));
+  run_on_machine(hm::MachineConfig::figure1());
+  return 0;
+}

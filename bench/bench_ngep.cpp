@@ -1,0 +1,122 @@
+// Experiment: Table I / Theorem 6 -- N-GEP on M(p, B) and D-BSP.
+//
+// Reproduced claims:
+//   (1) Table I's point: I-GEP's D order duplicates U/V quadrants within a
+//       round, concentrating traffic; N-GEP's D* uses each exactly once --
+//       measurably lower communication at every (p, B);
+//   (2) communication O(n^2/(sqrt(p) B) + n log^2 n): n-sweep at fixed
+//       (p, B) tracks n^2, p-sweep at fixed n tracks 1/sqrt(p);
+//   (3) computation complexity Theta(n^3/p);
+//   (4) D-BSP communication time is finite and reported (mesh-like g_i).
+#include <cmath>
+#include <iostream>
+
+#include "algo/gep.hpp"
+#include "bench/common.hpp"
+#include "no/ngep.hpp"
+#include "util/rng.hpp"
+
+using namespace obliv;
+
+namespace {
+
+std::vector<double> rand_matrix(std::uint64_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> x(n * n);
+  for (auto& v : x) v = rng.uniform() + 0.1;
+  return x;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table I / Theorem 6: N-GEP (D vs D*)");
+
+  // (1) D vs D* communication across (p, B) folds, n = 128, N = 256 PEs.
+  {
+    const std::uint64_t n = 128, pes = 256;
+    std::vector<no::FoldConfig> folds = {
+        {16, 4}, {64, 4}, {256, 4}, {64, 16}};
+    util::Table t({"fold (p,B)", "comm D", "comm D*", "D/D*"});
+    std::vector<std::uint64_t> cd(folds.size()), cs(folds.size());
+    {
+      auto x = rand_matrix(n, 1);
+      no::NoMachine mach(pes, folds);
+      no::n_gep<algo::FloydWarshallInstance>(mach, x, n, false);
+      for (std::size_t f = 0; f < folds.size(); ++f) {
+        cd[f] = mach.communication(f);
+      }
+    }
+    {
+      auto x = rand_matrix(n, 1);
+      no::NoMachine mach(pes, folds);
+      no::n_gep<algo::FloydWarshallInstance>(mach, x, n, true);
+      for (std::size_t f = 0; f < folds.size(); ++f) {
+        cs[f] = mach.communication(f);
+      }
+    }
+    for (std::size_t f = 0; f < folds.size(); ++f) {
+      t.add_row({"(" + std::to_string(folds[f].p) + "," +
+                     std::to_string(folds[f].block) + ")",
+                 util::Table::fmt(cd[f]), util::Table::fmt(cs[f]),
+                 util::Table::fmt(double(cd[f]) / double(cs[f]), "%.3f")});
+    }
+    std::cout << "\n-- D vs D* communication (n=128, N=256 PEs) --\n";
+    t.print(std::cout);
+  }
+
+  // (2a) n-sweep at fixed fold: comm vs n^2/(sqrt(p) B).
+  {
+    bench::Series s{"N-GEP(D*) comm vs n^2/(sqrt(p)B), p=64, B=4"};
+    bench::Series comp{"N-GEP(D*) computation vs n^3/p"};
+    for (std::uint64_t n : {32u, 64u, 128u, 256u}) {
+      auto x = rand_matrix(n, 2);
+      no::NoMachine mach(256, {{64, 4}});
+      no::n_gep<algo::FloydWarshallInstance>(mach, x, n, true);
+      s.add(double(n), double(mach.communication(0)),
+            double(n) * n / (std::sqrt(64.0) * 4.0));
+      comp.add(double(n), double(mach.computation(0)),
+               double(n) * n * n / 64.0);
+    }
+    bench::print_series(s);
+    bench::print_series(comp);
+  }
+
+  // (2b) p-sweep at fixed n: comm vs n^2/(sqrt(p) B).
+  {
+    bench::Series s{"N-GEP(D*) comm vs n^2/(sqrt(p)B), n=128, B=4"};
+    for (std::uint32_t p : {4u, 16u, 64u, 256u}) {
+      auto x = rand_matrix(128, 3);
+      no::NoMachine mach(256, {{p, 4}});
+      no::n_gep<algo::FloydWarshallInstance>(mach, x, 128, true);
+      s.add(double(p), double(mach.communication(0)),
+            128.0 * 128.0 / (std::sqrt(double(p)) * 4.0));
+    }
+    bench::print_series(s, "p");
+  }
+
+  // (4) D-BSP communication time under mesh-like g.
+  {
+    util::Table t({"n", "D-BSP time (D)", "D-BSP time (D*)"});
+    for (std::uint64_t n : {32u, 64u, 128u}) {
+      double td, ts;
+      {
+        auto x = rand_matrix(n, 4);
+        no::NoMachine mach(64, {{64, 4}}, no::DbspConfig::mesh_like(64));
+        no::n_gep<algo::FloydWarshallInstance>(mach, x, n, false);
+        td = mach.dbsp_time();
+      }
+      {
+        auto x = rand_matrix(n, 4);
+        no::NoMachine mach(64, {{64, 4}}, no::DbspConfig::mesh_like(64));
+        no::n_gep<algo::FloydWarshallInstance>(mach, x, n, true);
+        ts = mach.dbsp_time();
+      }
+      t.add_row({util::Table::fmt(std::uint64_t(n)),
+                 util::Table::fmt(td, "%.4g"), util::Table::fmt(ts, "%.4g")});
+    }
+    std::cout << "\n-- D-BSP(64, mesh-like) communication time --\n";
+    t.print(std::cout);
+  }
+  return 0;
+}

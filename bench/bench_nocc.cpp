@@ -1,0 +1,68 @@
+// Experiment: Theorem 10 -- NO connected components on M(p, B).
+//
+// Reproduced claims: communication ~ (N~/(pB)) per sort pass times the
+// contraction rounds, computation Theta((N~/p) log n), for
+// N~ = n + m log n; both drop with p, and the shapes hold across graph
+// families.
+#include <cmath>
+#include <iostream>
+
+#include "algo/graph.hpp"
+#include "bench/common.hpp"
+#include "no/wrappers.hpp"
+#include "util/rng.hpp"
+
+using namespace obliv;
+
+namespace {
+
+algo::EdgeList random_graph(std::uint64_t n, std::uint64_t m,
+                            std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  algo::EdgeList g;
+  g.n = n;
+  for (std::uint64_t e = 0; e < m; ++e) {
+    g.edges.emplace_back(static_cast<std::uint32_t>(rng.below(n)),
+                         static_cast<std::uint32_t>(rng.below(n)));
+  }
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Theorem 10: NO connected components on M(p, B)");
+
+  {
+    bench::Series comm{"NO-CC communication vs (N~/(pB)) log n, p=8, B=4"};
+    bench::Series comp{"NO-CC computation vs (N~/p) log2 n, p=8"};
+    for (std::uint64_t n : {512u, 1024u, 2048u, 4096u}) {
+      const algo::EdgeList g = random_graph(n, 2 * n, n);
+      no::NoMachine mach(32, {{8, 4}});
+      no::no_connected_components(mach, g);
+      const double ntil =
+          double(n) + double(g.edges.size()) * std::log2(double(n));
+      comm.add(double(n), double(mach.communication(0)),
+               ntil / (8.0 * 4.0) * std::log2(double(n)));
+      comp.add(double(n), double(mach.computation(0)),
+               ntil / 8.0 * std::log2(double(n)));
+    }
+    bench::print_series(comm);
+    bench::print_series(comp);
+  }
+
+  {
+    util::Table t({"p", "communication (B=4)", "computation"});
+    const algo::EdgeList g = random_graph(2048, 4096, 3);
+    for (std::uint32_t p : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      no::NoMachine mach(32, {{p, 4}});
+      no::no_connected_components(mach, g);
+      t.add_row({util::Table::fmt(std::uint64_t(p)),
+                 util::Table::fmt(mach.communication(0)),
+                 util::Table::fmt(mach.computation(0))});
+    }
+    std::cout << "\n-- NO-CC p-sweep (n=2048, m=4096) --\n";
+    t.print(std::cout);
+  }
+  return 0;
+}

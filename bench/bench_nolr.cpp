@@ -1,0 +1,95 @@
+// Experiment: Theorem 9 -- NO-LR list ranking on M(p, B).
+//
+// Reproduced claims:
+//   (1) computation complexity Theta((n/p) log n): halves when p doubles;
+//   (2) communication dominated by the O(1) sorts/scans per contraction
+//       level: grows ~linearly in n at fixed (p, B) and decreases with B;
+//   (3) nodes are evenly distributed among PEs (the block-distributed
+//       buffers of NoExecutor), the distinguishing choice of Section VI-B.
+#include <cmath>
+#include <iostream>
+#include <numeric>
+
+#include "algo/listrank.hpp"
+#include "bench/common.hpp"
+#include "no/wrappers.hpp"
+#include "util/rng.hpp"
+
+using namespace obliv;
+
+namespace {
+
+void make_list(std::uint64_t n, std::uint64_t seed,
+               std::vector<std::uint64_t>& succ,
+               std::vector<std::uint64_t>& pred) {
+  std::vector<std::uint64_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  util::Xoshiro256 rng(seed);
+  for (std::uint64_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.below(i)]);
+  }
+  succ.assign(n, algo::kNil);
+  pred.assign(n, algo::kNil);
+  for (std::uint64_t t = 0; t + 1 < n; ++t) {
+    succ[perm[t]] = perm[t + 1];
+    pred[perm[t + 1]] = perm[t];
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Theorem 9: NO-LR on M(p, B)");
+
+  // (1)+(2): n-sweep on fixed folds.
+  {
+    bench::Series comm{"NO-LR communication vs n/(pB) * log n, p=8, B=4"};
+    bench::Series comp{"NO-LR computation vs (n/p) log2 n, p=8"};
+    for (std::uint64_t n : {1u << 10, 1u << 11, 1u << 12, 1u << 13}) {
+      std::vector<std::uint64_t> succ, pred;
+      make_list(n, n, succ, pred);
+      no::NoMachine mach(32, {{8, 4}});
+      no::no_list_rank(mach, succ, pred);
+      comm.add(double(n), double(mach.communication(0)),
+               double(n) / (8.0 * 4.0) * std::log2(double(n)));
+      comp.add(double(n), double(mach.computation(0)),
+               double(n) / 8.0 * std::log2(double(n)));
+    }
+    bench::print_series(comm);
+    bench::print_series(comp);
+  }
+
+  // p-sweep at fixed n: computation must scale down with p.
+  {
+    util::Table t({"p", "communication (B=4)", "computation"});
+    const std::uint64_t n = 1 << 12;
+    std::vector<std::uint64_t> succ, pred;
+    make_list(n, 5, succ, pred);
+    for (std::uint32_t p : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      no::NoMachine mach(32, {{p, 4}});
+      no::no_list_rank(mach, succ, pred);
+      t.add_row({util::Table::fmt(std::uint64_t(p)),
+                 util::Table::fmt(mach.communication(0)),
+                 util::Table::fmt(mach.computation(0))});
+    }
+    std::cout << "\n-- NO-LR p-sweep (n=4096) --\n";
+    t.print(std::cout);
+  }
+
+  // B-sweep: blocks amortize words.
+  {
+    util::Table t({"B", "communication (p=8)"});
+    const std::uint64_t n = 1 << 12;
+    std::vector<std::uint64_t> succ, pred;
+    make_list(n, 6, succ, pred);
+    for (std::uint64_t B : {1u, 2u, 4u, 8u, 16u}) {
+      no::NoMachine mach(32, {{8, B}});
+      no::no_list_rank(mach, succ, pred);
+      t.add_row({util::Table::fmt(std::uint64_t(B)),
+                 util::Table::fmt(mach.communication(0))});
+    }
+    std::cout << "\n-- NO-LR B-sweep (n=4096) --\n";
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Experiment: Table II row "Prefix sum" / Section III-A scans.
+//
+// Reproduced claims:
+//   (1) MO: Theta(n/(q_i B_i)) misses per level, Theta(n/p) parallel steps
+//       with O(B_1 log n) span;
+//   (2) NO: Theta(log p) communication for the tree phase on M(p, B) once
+//       each processor's slice is local (we report the measured curve).
+#include <cmath>
+#include <iostream>
+
+#include "algo/scan.hpp"
+#include "bench/common.hpp"
+#include "hm/config.hpp"
+#include "no/wrappers.hpp"
+#include "sched/sim_executor.hpp"
+
+using namespace obliv;
+
+int main() {
+  bench::print_header("Table II row 1: prefix sums");
+  const hm::MachineConfig cfg = hm::MachineConfig::three_level(4, 4);
+  bench::print_machine(cfg);
+
+  std::vector<bench::Series> miss(cfg.cache_levels());
+  for (std::uint32_t lvl = 1; lvl <= cfg.cache_levels(); ++lvl) {
+    miss[lvl - 1].name = "scan L" + std::to_string(lvl) +
+                         " misses vs n/(q_i B_i)";
+  }
+  bench::Series span{"scan span vs n/p + B_1 log2 n"};
+  for (std::uint64_t n : {1u << 14, 1u << 16, 1u << 18, 1u << 20}) {
+    sched::SimExecutor ex(cfg);
+    auto buf = ex.make_buf<std::int64_t>(n);
+    for (auto& v : buf.raw()) v = 1;
+    const auto m = ex.run(2 * n, [&] { algo::mo_prefix_sum(ex, buf.ref()); });
+    for (std::uint32_t lvl = 1; lvl <= cfg.cache_levels(); ++lvl) {
+      miss[lvl - 1].add(double(n), double(m.level_max_misses[lvl - 1]),
+                        double(n) / (cfg.caches_at(lvl) * cfg.block(lvl)));
+    }
+    span.add(double(n), double(m.span),
+             double(n) / cfg.cores() +
+                 double(cfg.block(1)) * std::log2(double(n)));
+  }
+  for (const auto& s : miss) bench::print_series(s);
+  bench::print_series(span);
+
+  // NO prefix sums: communication vs log-ish growth on M(p, B).
+  {
+    util::Table t({"n", "comm (p=8,B=4)", "supersteps"});
+    for (std::uint64_t n : {1u << 10, 1u << 12, 1u << 14}) {
+      no::NoMachine mach(32, {{8, 4}});
+      std::vector<std::uint64_t> xs(n, 1);
+      no::no_prefix_sum(mach, xs);
+      t.add_row({util::Table::fmt(std::uint64_t(n)),
+                 util::Table::fmt(mach.communication(0)),
+                 util::Table::fmt(mach.supersteps())});
+    }
+    std::cout << "\n-- NO prefix sums --\n";
+    t.print(std::cout);
+  }
+  return 0;
+}

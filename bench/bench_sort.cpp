@@ -1,0 +1,68 @@
+// Experiment: Theorem 3 -- SPMS sorting.
+//
+// Reproduced claims:
+//   (1) cache complexity O((n/(q_i B_i)) log_{C_i} n) per level;
+//   (2) work Theta(n log n), span far below work (real parallelism);
+//   (3) binary mergesort pays log_2(n/C_1) passes -- strictly more L1
+//       misses than SPMS at n >> C_1 (the crossover the paper's sqrt(n)
+//       recursion exists to win).
+#include <cmath>
+#include <iostream>
+
+#include "algo/sort.hpp"
+#include "bench/common.hpp"
+#include "hm/config.hpp"
+#include "sched/sim_executor.hpp"
+#include "util/rng.hpp"
+
+using namespace obliv;
+
+namespace {
+
+void run_on_machine(const hm::MachineConfig& cfg) {
+  bench::print_machine(cfg);
+  std::vector<bench::Series> miss(cfg.cache_levels());
+  for (std::uint32_t lvl = 1; lvl <= cfg.cache_levels(); ++lvl) {
+    miss[lvl - 1].name = "SPMS L" + std::to_string(lvl) +
+                         " max misses vs (n/(q_i B_i)) log_{C_i} n";
+  }
+  bench::Series work{"SPMS work vs n log2 n"};
+  bench::Series merge{"mergesort L1 misses vs (n/(q_1 B_1)) log2(n/C_1)"};
+
+  for (std::uint64_t n : {1u << 13, 1u << 14, 1u << 15, 1u << 16}) {
+    util::Xoshiro256 rng(n);
+    sched::SimExecutor ex(cfg);
+    auto buf = ex.make_buf<std::uint64_t>(n);
+    for (auto& v : buf.raw()) v = rng();
+    const auto m = ex.run(4 * n, [&] { algo::spms_sort(ex, buf.ref()); });
+    for (std::uint32_t lvl = 1; lvl <= cfg.cache_levels(); ++lvl) {
+      const double logc = std::max(
+          1.0, std::log(double(n)) / std::log(double(cfg.capacity(lvl))));
+      miss[lvl - 1].add(
+          double(n), double(m.level_max_misses[lvl - 1]),
+          double(n) / (cfg.caches_at(lvl) * cfg.block(lvl)) * logc);
+    }
+    work.add(double(n), double(m.work), double(n) * std::log2(double(n)));
+
+    for (auto& v : buf.raw()) v = rng();
+    const auto mm = ex.run(4 * n, [&] {
+      algo::mergesort_baseline(ex, buf.ref());
+    });
+    const double passes = std::max(
+        1.0, std::log2(double(n) / double(cfg.capacity(1))));
+    merge.add(double(n), double(mm.level_max_misses[0]),
+              double(n) / (cfg.caches_at(1) * cfg.block(1)) * passes);
+  }
+  for (const auto& s : miss) bench::print_series(s);
+  bench::print_series(work);
+  bench::print_series(merge);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Theorem 3: SPMS sorting");
+  run_on_machine(hm::MachineConfig::shared_l2(4));
+  run_on_machine(hm::MachineConfig::three_level(4, 4));
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Example: all-pairs shortest paths on a road grid via I-GEP.
+//
+// A city grid (k x k intersections, random segment travel times, a few
+// closed roads) is solved with Floyd-Warshall expressed in the Gaussian
+// Elimination Paradigm (Figure 5) and executed by I-GEP under the SB
+// scheduler (Theorem 5) -- the schedule exploits every cache level without
+// knowing any cache parameter.
+//
+// Build & run:  ./build/examples/example_apsp_roadgrid
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "algo/gep.hpp"
+#include "hm/config.hpp"
+#include "sched/sim_executor.hpp"
+#include "util/rng.hpp"
+
+using namespace obliv;
+
+int main() {
+  // 8x8 intersections padded to n = 64 (power of two for I-GEP).
+  const std::uint64_t k = 8, n = 64;
+  const double kInf = 1e17;
+  util::Xoshiro256 rng(11);
+
+  std::vector<double> dist(n * n, kInf);
+  for (std::uint64_t v = 0; v < n; ++v) dist[v * n + v] = 0;
+  auto connect = [&](std::uint64_t a, std::uint64_t b) {
+    const double minutes = 2.0 + 6.0 * rng.uniform();
+    dist[a * n + b] = std::min(dist[a * n + b], minutes);
+    dist[b * n + a] = std::min(dist[b * n + a], minutes);
+  };
+  for (std::uint64_t r = 0; r < k; ++r) {
+    for (std::uint64_t c = 0; c < k; ++c) {
+      const std::uint64_t u = r * k + c;
+      // Close ~10% of road segments.
+      if (c + 1 < k && rng.uniform() > 0.1) connect(u, u + 1);
+      if (r + 1 < k && rng.uniform() > 0.1) connect(u, u + k);
+    }
+  }
+
+  const hm::MachineConfig machine = hm::MachineConfig::three_level(4, 4);
+  sched::SimExecutor sim(machine);
+  auto buf = sim.make_buf<double>(n * n);
+  buf.raw() = dist;
+  using Mat = sched::MatView<sched::SimRef<double>>;
+  const auto m = sim.run(n * n, [&] {
+    algo::igep<algo::FloydWarshallInstance>(sim, Mat::full(buf.ref(), n, n));
+  });
+
+  std::cout << "APSP on an " << k << "x" << k
+            << " road grid via I-GEP (SB-scheduled)\n";
+  std::cout << "machine: " << machine.describe() << "\n";
+  std::cout << "work " << m.work << ", span " << m.span << ", T_16 = "
+            << m.parallel_steps(machine.cores()) << ", L1/L2/L3 misses "
+            << m.level_max_misses[0] << "/" << m.level_max_misses[1] << "/"
+            << m.level_max_misses[2] << "\n\n";
+
+  std::cout << "travel times from the NW corner (minutes):\n";
+  for (std::uint64_t r = 0; r < k; ++r) {
+    for (std::uint64_t c = 0; c < k; ++c) {
+      const double d = buf.raw()[0 * n + (r * k + c)];
+      if (d >= kInf) {
+        std::cout << "   x  ";
+      } else {
+        std::cout << std::setw(5) << std::fixed << std::setprecision(1) << d
+                  << " ";
+      }
+    }
+    std::cout << "\n";
+  }
+
+  // Sanity: triangle inequality on a sample of triples.
+  std::uint64_t violations = 0;
+  for (int t = 0; t < 10000; ++t) {
+    const std::uint64_t a = rng.below(k * k), b = rng.below(k * k),
+                        c = rng.below(k * k);
+    if (buf.raw()[a * n + c] >
+        buf.raw()[a * n + b] + buf.raw()[b * n + c] + 1e-9) {
+      ++violations;
+    }
+  }
+  std::cout << "\ntriangle-inequality violations in 10000 samples: "
+            << violations << "\n";
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,200 @@
+// MO-FFT: multicore-oblivious in-place FFT (paper, Figure 3 and Theorem 2).
+//
+// The algorithm is the HM adaptation of the cache-oblivious FFT of Frigo et
+// al. [1] / the network-oblivious FFT of Bilardi et al. [4]: the length-n
+// input is viewed as an n1 x n2 matrix (n1 = 2^ceil(k/2), n2 = 2^floor(k/2)),
+// and the DFT decomposes into column FFTs, twiddle scaling and row FFTs,
+// with MO-MT transposes turning column work into contiguous row work.
+//
+// Scheduler hints exactly as in Figure 3: the data-rearrangement steps are
+// CGC (constant critical pathlength each), and the two batches of recursive
+// sub-FFTs are CGC=>SB with space bound S(m) = 3m (the recursion's matrix
+// scratch is at most 2m complex elements plus the input row).
+//
+// Theorem 2: O((n/p + B_1) log n) parallel steps and
+// O((n/(q_i B_i)) log_{C_i} n) level-i cache misses, both optimal.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+#include "algo/transpose.hpp"
+#include "sched/views.hpp"
+#include "util/bits.hpp"
+
+namespace obliv::algo {
+
+using cplx = std::complex<double>;
+
+namespace detail {
+
+/// Direct O(m^2) DFT used at the recursion base (m is a small constant, so
+/// this does not affect asymptotics).  Convention: Y[f] = sum_t x[t] *
+/// exp(-2*pi*i*f*t/m).
+template <class Exec, class Ref>
+void dft_base(Exec& ex, Ref x) {
+  const std::uint64_t m = x.size();
+  cplx in[8], out[8];
+  assert(m <= 8);
+  for (std::uint64_t t = 0; t < m; ++t) in[t] = x.load(t);
+  for (std::uint64_t f = 0; f < m; ++f) {
+    cplx acc{0.0, 0.0};
+    for (std::uint64_t t = 0; t < m; ++t) {
+      const double ang = -2.0 * std::numbers::pi *
+                         static_cast<double>((f * t) % m) /
+                         static_cast<double>(m);
+      acc += in[t] * std::polar(1.0, ang);
+      ex.tick(4);
+    }
+    out[f] = acc;
+  }
+  for (std::uint64_t f = 0; f < m; ++f) x.store(f, out[f]);
+}
+
+}  // namespace detail
+
+/// MO-FFT.  In-place DFT of `x` (size a power of two), convention
+/// Y[f] = sum_t x[t] exp(-2 pi i f t / n).  Space bound S(n) = 3n elements.
+template <class Exec, class Ref>
+void mo_fft(Exec& ex, Ref x) {
+  const std::uint64_t n = x.size();
+  assert(util::is_pow2(n));
+  constexpr std::uint64_t W = (sizeof(cplx) + 7) / 8;  // 2 words per element
+
+  // Line 1: small-constant base case.
+  if (n <= 8) {
+    detail::dft_base(ex, x);
+    return;
+  }
+
+  // Line 2: n1 = 2^ceil(k/2), n2 = 2^floor(k/2).
+  const unsigned k = util::ilog2(n);
+  const std::uint64_t n1 = std::uint64_t{1} << ((k + 1) / 2);
+  const std::uint64_t n2 = std::uint64_t{1} << (k / 2);
+
+  auto abuf = ex.template make_buf<cplx>(n1 * n1);
+  auto A = sched::MatView<Ref>::full(abuf.ref(), n1, n1);
+
+  // Line 3 [CGC]: A[i][j] := X[i*n2 + j] for i < n1, j < n2.
+  ex.cgc_pfor(0, n, W, [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t z = lo; z < hi; ++z) {
+      A.store(z / n2, z % n2, x.load(z));
+    }
+  });
+
+  // Line 4 [CGC]: MO-MT(A, n1).
+  mo_transpose_inplace(ex, A);
+
+  // Line 5 [CGC=>SB]: FFT each of the first n2 rows (length n1).
+  ex.cgc_sb_pfor(n2, 3 * n1 * W, [&](std::uint64_t i) {
+    mo_fft(ex, A.row(i));
+  });
+
+  // Line 6 [CGC]: twiddle the first n entries: entry (b, c) of the n2 x n1
+  // region is scaled by w_n^{b*c}.
+  ex.cgc_pfor(0, n, W, [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t z = lo; z < hi; ++z) {
+      const std::uint64_t b = z / n1, c = z % n1;
+      const double ang = -2.0 * std::numbers::pi *
+                         static_cast<double>((b * c) % n) /
+                         static_cast<double>(n);
+      A.store(b, c, A.load(b, c) * std::polar(1.0, ang));
+      ex.tick(8);
+    }
+  });
+
+  // Line 7 [CGC]: MO-MT(A, n1).
+  mo_transpose_inplace(ex, A);
+
+  // Line 8 [CGC=>SB]: FFT each of the n1 rows restricted to length n2.
+  ex.cgc_sb_pfor(n1, 3 * n2 * W, [&](std::uint64_t i) {
+    mo_fft(ex, A.row(i).slice(0, n2));
+  });
+
+  // Line 9 [CGC]: MO-MT(A, n1).
+  mo_transpose_inplace(ex, A);
+
+  // Line 10 [CGC]: copy the first n entries of A back into X.
+  ex.cgc_pfor(0, n, W, [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t z = lo; z < hi; ++z) {
+      x.store(z, A.load(z / n1, z % n1));
+    }
+  });
+}
+
+/// Inverse DFT via the conjugation identity (used by examples/tests).
+template <class Exec, class Ref>
+void mo_ifft(Exec& ex, Ref x) {
+  const std::uint64_t n = x.size();
+  constexpr std::uint64_t W = (sizeof(cplx) + 7) / 8;
+  ex.cgc_pfor(0, n, W, [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t z = lo; z < hi; ++z) x.store(z, std::conj(x.load(z)));
+  });
+  mo_fft(ex, x);
+  ex.cgc_pfor(0, n, W, [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t z = lo; z < hi; ++z) {
+      x.store(z, std::conj(x.load(z)) / static_cast<double>(n));
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Baselines.
+// ---------------------------------------------------------------------------
+
+/// Iterative radix-2 Cooley-Tukey (bit-reversal + log n butterfly passes).
+/// Cache-aware codes block this; unblocked it incurs Theta((n/B) log n)
+/// misses once n exceeds the cache -- the baseline curve for bench_fft.
+template <class Exec, class Ref>
+void iterative_fft(Exec& ex, Ref x) {
+  const std::uint64_t n = x.size();
+  assert(util::is_pow2(n));
+  const unsigned k = util::ilog2(n);
+  constexpr std::uint64_t W = (sizeof(cplx) + 7) / 8;
+  ex.cgc_pfor_each(0, n, W, [&](std::uint64_t z) {
+    const std::uint64_t r = util::reverse_bits(z, k);
+    if (r > z) {
+      const cplx a = x.load(z);
+      x.store(z, x.load(r));
+      x.store(r, a);
+    }
+  });
+  for (std::uint64_t len = 2; len <= n; len <<= 1) {
+    const std::uint64_t half = len / 2;
+    ex.cgc_pfor_each(0, n / 2, 2 * W, [&](std::uint64_t t) {
+      const std::uint64_t blk = t / half, off = t % half;
+      const std::uint64_t base = blk * len + off;
+      const double ang = -2.0 * std::numbers::pi *
+                         static_cast<double>(off) / static_cast<double>(len);
+      const cplx w = std::polar(1.0, ang);
+      const cplx a = x.load(base);
+      const cplx b = x.load(base + half) * w;
+      x.store(base, a + b);
+      x.store(base + half, a - b);
+      ex.tick(8);
+    });
+  }
+}
+
+/// Plain O(n^2) reference DFT on host vectors, for correctness tests.
+inline std::vector<cplx> naive_dft(const std::vector<cplx>& x) {
+  const std::uint64_t n = x.size();
+  std::vector<cplx> y(n);
+  for (std::uint64_t f = 0; f < n; ++f) {
+    cplx acc{0.0, 0.0};
+    for (std::uint64_t t = 0; t < n; ++t) {
+      const double ang = -2.0 * std::numbers::pi *
+                         static_cast<double>((f * t) % n) /
+                         static_cast<double>(n);
+      acc += x[t] * std::polar(1.0, ang);
+    }
+    y[f] = acc;
+  }
+  return y;
+}
+
+}  // namespace obliv::algo

@@ -1,0 +1,255 @@
+// Workload generators for the SpM-DV and graph experiments: sparse matrices
+// whose support graphs satisfy edge separator theorems, and the separator
+// tree reordering Theorem 4 assumes.
+//
+//   * 2-D grid (mesh) graphs satisfy an n^(1/2)-edge separator theorem
+//     (eps = 1/2), with the separator realized by alternating-axis geometric
+//     bisection -- the same recursive cuts define the separator-tree order.
+//   * Trees satisfy an O(1)-edge separator theorem via centroid edges
+//     (eps = 0); we implement centroid-edge decomposition for the order.
+//   * A random (expander-like) matrix deliberately violates every separator
+//     theorem -- the negative control for the Theorem 4 bench.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "algo/spmdv.hpp"
+#include "util/rng.hpp"
+
+namespace obliv::algo {
+
+/// Assembles a SparseMatrix from (row, col, val) triples (duplicates summed).
+inline SparseMatrix matrix_from_triples(
+    std::uint64_t n, std::vector<std::tuple<std::uint64_t, std::uint64_t,
+                                            double>> triples) {
+  std::sort(triples.begin(), triples.end(),
+            [](const auto& a, const auto& b) {
+              return std::make_pair(std::get<0>(a), std::get<1>(a)) <
+                     std::make_pair(std::get<0>(b), std::get<1>(b));
+            });
+  SparseMatrix m;
+  m.n = n;
+  m.a0.assign(n + 1, 0);
+  for (std::size_t t = 0; t < triples.size(); ++t) {
+    const auto& [i, j, v] = triples[t];
+    const bool dup = t > 0 && std::get<0>(triples[t - 1]) == i &&
+                     std::get<1>(triples[t - 1]) == j;
+    if (dup) {
+      m.av.back().val += v;
+    } else {
+      m.av.push_back(SpmEntry{j, v});
+      m.a0[i + 1]++;
+    }
+  }
+  for (std::uint64_t i = 0; i < n; ++i) m.a0[i + 1] += m.a0[i];
+  return m;
+}
+
+/// Applies permutation `order` (order[new_index] = old_index) to rows and
+/// columns of `m` symmetrically.
+inline SparseMatrix permute_matrix(const SparseMatrix& m,
+                                   const std::vector<std::uint64_t>& order) {
+  std::vector<std::uint64_t> inv(m.n);
+  for (std::uint64_t p = 0; p < m.n; ++p) inv[order[p]] = p;
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, double>> triples;
+  triples.reserve(m.nnz());
+  for (std::uint64_t i = 0; i < m.n; ++i) {
+    for (std::uint64_t t = m.a0[i]; t < m.a0[i + 1]; ++t) {
+      triples.emplace_back(inv[i], inv[m.av[t].col], m.av[t].val);
+    }
+  }
+  return matrix_from_triples(m.n, std::move(triples));
+}
+
+// ---------------------------------------------------------------------------
+// 2-D grid graphs (eps = 1/2).
+// ---------------------------------------------------------------------------
+
+/// side x side 5-point mesh: diagonal plus 4-neighbor couplings, random
+/// values.  Vertex id = r * side + c (row-major).
+inline SparseMatrix grid_matrix(std::uint64_t side, std::uint64_t seed = 1) {
+  util::Xoshiro256 rng(seed);
+  const std::uint64_t n = side * side;
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, double>> triples;
+  triples.reserve(5 * n);
+  for (std::uint64_t r = 0; r < side; ++r) {
+    for (std::uint64_t c = 0; c < side; ++c) {
+      const std::uint64_t u = r * side + c;
+      triples.emplace_back(u, u, 4.0 + rng.uniform());
+      auto couple = [&](std::uint64_t v) {
+        const double w = -1.0 + 0.1 * rng.uniform();
+        triples.emplace_back(u, v, w);
+      };
+      if (r + 1 < side) couple((r + 1) * side + c);
+      if (r > 0) couple((r - 1) * side + c);
+      if (c + 1 < side) couple(r * side + c + 1);
+      if (c > 0) couple(r * side + c - 1);
+    }
+  }
+  return matrix_from_triples(n, std::move(triples));
+}
+
+namespace detail {
+
+inline void grid_bisect(std::uint64_t side, std::uint64_t r0, std::uint64_t c0,
+                        std::uint64_t h, std::uint64_t w,
+                        std::vector<std::uint64_t>& out) {
+  if (h == 0 || w == 0) return;
+  if (h * w == 1) {
+    out.push_back(r0 * side + c0);
+    return;
+  }
+  // Cut the longer axis: the crossing edges number min(h, w) <= sqrt(area),
+  // realizing the n^(1/2)-edge separator theorem.
+  if (h >= w) {
+    grid_bisect(side, r0, c0, h / 2, w, out);
+    grid_bisect(side, r0 + h / 2, c0, h - h / 2, w, out);
+  } else {
+    grid_bisect(side, r0, c0, h, w / 2, out);
+    grid_bisect(side, r0, c0 + w / 2, h, w - w / 2, out);
+  }
+}
+
+}  // namespace detail
+
+/// Separator-tree (recursive geometric bisection) vertex order for the grid:
+/// order[new_index] = old (row-major) vertex id.
+inline std::vector<std::uint64_t> grid_separator_order(std::uint64_t side) {
+  std::vector<std::uint64_t> out;
+  out.reserve(side * side);
+  detail::grid_bisect(side, 0, 0, side, side, out);
+  return out;
+}
+
+/// grid_matrix reordered by its separator tree -- the Theorem 4 input.
+inline SparseMatrix grid_matrix_reordered(std::uint64_t side,
+                                          std::uint64_t seed = 1) {
+  return permute_matrix(grid_matrix(side, seed), grid_separator_order(side));
+}
+
+// ---------------------------------------------------------------------------
+// Random trees (eps = 0: O(1) edge separators via centroid edges).
+// ---------------------------------------------------------------------------
+
+/// Random tree on n vertices (random attachment), as adjacency + diagonal.
+inline SparseMatrix tree_matrix(std::uint64_t n, std::uint64_t seed = 1,
+                                std::vector<std::uint64_t>* parent_out =
+                                    nullptr) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> parent(n, 0);
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, double>> triples;
+  triples.reserve(3 * n);
+  for (std::uint64_t u = 0; u < n; ++u) {
+    triples.emplace_back(u, u, 2.0 + rng.uniform());
+    if (u == 0) continue;
+    const std::uint64_t p = rng.below(u);
+    parent[u] = p;
+    const double w = -0.5 + 0.1 * rng.uniform();
+    triples.emplace_back(u, p, w);
+    triples.emplace_back(p, u, w);
+  }
+  if (parent_out) *parent_out = std::move(parent);
+  return matrix_from_triples(n, std::move(triples));
+}
+
+namespace detail {
+
+struct TreeSep {
+  const std::vector<std::vector<std::uint32_t>>& adj;
+  std::vector<char> removed;
+  std::vector<std::uint32_t> size;
+  std::vector<std::uint64_t> out;
+
+  std::uint32_t compute_sizes(std::uint32_t u, std::uint32_t parent) {
+    std::uint32_t s = 1;
+    for (std::uint32_t v : adj[u]) {
+      if (v == parent || removed[v]) continue;
+      s += compute_sizes(v, u);
+    }
+    size[u] = s;
+    return s;
+  }
+
+  /// Finds the centroid of the component containing u.
+  std::uint32_t centroid(std::uint32_t u) {
+    const std::uint32_t total = compute_sizes(u, u);
+    std::uint32_t cur = u, parent = u;
+    for (;;) {
+      std::uint32_t heavy = cur;
+      for (std::uint32_t v : adj[cur]) {
+        if (v == parent || removed[v]) continue;
+        if (size[v] * 2 > total) {
+          heavy = v;
+          break;
+        }
+      }
+      if (heavy == cur) return cur;
+      parent = cur;
+      cur = heavy;
+    }
+  }
+
+  void decompose(std::uint32_t u) {
+    const std::uint32_t c = centroid(u);
+    // Emit the centroid's subcomponents contiguously; the centroid itself
+    // separates them with O(deg) = separator edges.
+    removed[c] = 1;
+    out.push_back(c);
+    for (std::uint32_t v : adj[c]) {
+      if (!removed[v]) decompose(v);
+    }
+  }
+};
+
+}  // namespace detail
+
+/// Centroid-decomposition vertex order for a tree given parent links.
+inline std::vector<std::uint64_t> tree_separator_order(
+    const std::vector<std::uint64_t>& parent) {
+  const std::uint64_t n = parent.size();
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  for (std::uint64_t u = 1; u < n; ++u) {
+    adj[u].push_back(static_cast<std::uint32_t>(parent[u]));
+    adj[parent[u]].push_back(static_cast<std::uint32_t>(u));
+  }
+  detail::TreeSep sep{adj, std::vector<char>(n, 0),
+                      std::vector<std::uint32_t>(n, 0), {}};
+  sep.out.reserve(n);
+  if (n > 0) sep.decompose(0);
+  return sep.out;
+}
+
+/// tree_matrix reordered by centroid decomposition.
+inline SparseMatrix tree_matrix_reordered(std::uint64_t n,
+                                          std::uint64_t seed = 1) {
+  std::vector<std::uint64_t> parent;
+  SparseMatrix m = tree_matrix(n, seed, &parent);
+  return permute_matrix(m, tree_separator_order(parent));
+}
+
+// ---------------------------------------------------------------------------
+// Negative control: random sparse matrix (no separator structure).
+// ---------------------------------------------------------------------------
+
+/// n x n matrix with `per_row` uniformly random off-diagonals per row plus
+/// the diagonal: support graph is expander-like, violating every
+/// n^eps-separator theorem with eps < 1.
+inline SparseMatrix random_matrix(std::uint64_t n, std::uint64_t per_row = 4,
+                                  std::uint64_t seed = 1) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, double>> triples;
+  triples.reserve(n * (per_row + 1));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    triples.emplace_back(i, i, 4.0);
+    for (std::uint64_t t = 0; t < per_row; ++t) {
+      std::uint64_t j = rng.below(n);
+      triples.emplace_back(i, j, rng.uniform() - 0.5);
+    }
+  }
+  return matrix_from_triples(n, std::move(triples));
+}
+
+}  // namespace obliv::algo

@@ -1,0 +1,100 @@
+// CGC-scheduled scans (prefix sums) -- Section III-A.
+//
+// The paper states that scans on an input of size n can be scheduled with
+// CGC in O(B_1 log n) parallel steps with Theta(n/(q_i B_i)) level-i cache
+// misses (Table II row "Prefix sum").  We implement the classic recursive
+// pairwise-contraction scan: each level is one CGC pfor over a geometrically
+// shrinking array, so the span telescopes to O((n/p) + B_1 log n) and misses
+// to a constant number of scans of n words.
+//
+// The algorithm is multicore-oblivious: it names no machine parameters;
+// chunking is done by the CGC scheduler.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sched/hints.hpp"
+
+namespace obliv::algo {
+
+/// In-place inclusive scan of `v` under `op` (associative).
+/// `scratch` must have size >= v.size() / 2; pass a ref into a buffer
+/// allocated from the same executor.  Recursion depth is O(log n); each
+/// level runs two CGC pfors.
+template <class Exec, class Ref, class Op>
+void mo_scan_inclusive(Exec& ex, Ref v, Ref scratch, Op op) {
+  using T = typename Ref::value_type;
+  const std::uint64_t n = v.size();
+  if (n <= 1) return;
+  if (n == 2) {
+    const T a = v.load(0);
+    v.store(1, op(a, v.load(1)));
+    return;
+  }
+  const std::uint64_t half = n / 2;
+
+  // Contract: t[i] = v[2i] (+) v[2i+1].
+  ex.cgc_pfor(0, half, 2 * sizeof(T) / 8,
+              [&](std::uint64_t lo, std::uint64_t hi) {
+                for (std::uint64_t i = lo; i < hi; ++i) {
+                  scratch.store(i, op(v.load(2 * i), v.load(2 * i + 1)));
+                }
+              });
+
+  mo_scan_inclusive(ex, scratch.slice(0, half), scratch.slice(half, half / 2),
+                    op);
+
+  // Expand: v[2i] = t[i-1] (+) v[2i], v[2i+1] = t[i].
+  ex.cgc_pfor(0, half, 2 * sizeof(T) / 8,
+              [&](std::uint64_t lo, std::uint64_t hi) {
+                for (std::uint64_t i = lo; i < hi; ++i) {
+                  if (i > 0) {
+                    v.store(2 * i, op(scratch.load(i - 1), v.load(2 * i)));
+                  }
+                  v.store(2 * i + 1, scratch.load(i));
+                }
+              });
+  if (n % 2 == 1) {
+    v.store(n - 1, op(v.load(n - 2), v.load(n - 1)));
+  }
+}
+
+/// Convenience wrapper that allocates scratch from the executor.
+/// Space bound: 2n (input plus contraction tree).
+template <class Exec, class Ref, class Op>
+void mo_scan(Exec& ex, Ref v, Op op) {
+  using T = typename Ref::value_type;
+  auto scratch = ex.template make_buf<T>(v.size());
+  mo_scan_inclusive(ex, v, scratch.ref(), op);
+}
+
+/// Inclusive prefix sum specialization.
+template <class Exec, class Ref>
+void mo_prefix_sum(Exec& ex, Ref v) {
+  using T = typename Ref::value_type;
+  mo_scan(ex, v, [](const T& a, const T& b) { return a + b; });
+}
+
+/// Parallel reduction under `op`; returns the total.  One CGC pass per
+/// contraction level.
+template <class Exec, class Ref, class Op>
+typename Ref::value_type mo_reduce(Exec& ex, Ref v, Op op) {
+  using T = typename Ref::value_type;
+  const std::uint64_t n = v.size();
+  if (n == 0) return T{};
+  if (n == 1) return v.load(0);
+  auto scratch_buf = ex.template make_buf<T>((n + 1) / 2);
+  auto scratch = scratch_buf.ref();
+  const std::uint64_t half = n / 2;
+  ex.cgc_pfor(0, half, 2 * sizeof(T) / 8,
+              [&](std::uint64_t lo, std::uint64_t hi) {
+                for (std::uint64_t i = lo; i < hi; ++i) {
+                  scratch.store(i, op(v.load(2 * i), v.load(2 * i + 1)));
+                }
+              });
+  if (n % 2 == 1) scratch.store(half, v.load(n - 1));
+  return mo_reduce(ex, scratch.slice(0, (n + 1) / 2), op);
+}
+
+}  // namespace obliv::algo

@@ -1,0 +1,146 @@
+// MO-MT: multicore-oblivious matrix transposition (paper, Figure 2 and
+// Theorem 1), plus the baselines it is compared against.
+//
+// MO-MT routes the transposition through an intermediate array I laid out in
+// bit-interleaved (Z-Morton) order:
+//
+//   step 1 [CGC]:  I[z]           := A[beta^{-1}(z)]   (Morton gather)
+//   step 2 [CGC]:  A^T[i*n + j]   := I[beta(j, i)]     (Morton scatter)
+//
+// Both steps are flat CGC pfors with O(1) work per index, so the critical
+// pathlength is the CGC minimum-segment bound O(B_1) -- constant in n --
+// which a parallelization of the recursive cache-oblivious transposition
+// cannot achieve (it needs Theta(log n) depth).  Per Theorem 1 the level-i
+// cache misses are O(n^2/(q_i B_i) + B_i) given tall caches.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "sched/views.hpp"
+#include "util/bits.hpp"
+
+namespace obliv::algo {
+
+/// MO-MT.  `a` is an n x n row-major input, `out` receives the transpose
+/// (row-major).  n must be a power of two (the bit-interleaving map requires
+/// equal index widths).  Space bound: 3 n^2.
+template <class Exec, class Ref>
+void mo_transpose(Exec& ex, Ref a, Ref out, std::uint64_t n) {
+  assert(util::is_pow2(n));
+  assert(a.size() >= n * n && out.size() >= n * n);
+  using T = typename Ref::value_type;
+  constexpr std::uint64_t W = (sizeof(T) + 7) / 8;
+
+  auto ibuf = ex.template make_buf<T>(n * n);
+  auto I = ibuf.ref();
+
+  // Step 1 [CGC]: gather A into bit-interleaved order.
+  ex.cgc_pfor(0, n * n, W, [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t z = lo; z < hi; ++z) {
+      const auto [i, j] = util::deinterleave_bits(z);
+      I.store(z, a.load(i * n + j));
+    }
+  });
+
+  // Step 2 [CGC]: scatter out of bit-interleaved order, transposed.
+  ex.cgc_pfor(0, n * n, W, [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t z = lo; z < hi; ++z) {
+      const std::uint64_t i = z / n, j = z % n;
+      out.store(z, I.load(util::interleave_bits(j, i)));
+    }
+  });
+}
+
+/// In-place transposition of a square MatView via MO-MT semantics is not
+/// needed by MO-FFT; MO-FFT transposes the full backing matrix.  This
+/// overload transposes view `m` (must be square, power-of-two side, and
+/// contiguous: ld == cols) into itself using a scratch buffer.
+template <class Exec, class Ref>
+void mo_transpose_inplace(Exec& ex, sched::MatView<Ref> m) {
+  const std::uint64_t n = m.rows();
+  assert(m.cols() == n && util::is_pow2(n));
+  using T = typename Ref::value_type;
+  constexpr std::uint64_t W = (sizeof(T) + 7) / 8;
+
+  auto ibuf = ex.template make_buf<T>(n * n);
+  auto I = ibuf.ref();
+
+  ex.cgc_pfor(0, n * n, W, [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t z = lo; z < hi; ++z) {
+      const auto [i, j] = util::deinterleave_bits(z);
+      I.store(z, m.load(i, j));
+    }
+  });
+  ex.cgc_pfor(0, n * n, W, [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t z = lo; z < hi; ++z) {
+      const std::uint64_t i = z / n, j = z % n;
+      m.store(i, j, I.load(util::interleave_bits(j, i)));
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Baselines for bench_mt.
+// ---------------------------------------------------------------------------
+
+/// Naive parallel transposition: out[i][j] = a[j][i] by rows.  Strided reads
+/// incur Theta(n^2) misses per level when n exceeds the cache (no B_i
+/// divisor) -- the curve MO-MT is compared against.
+template <class Exec, class Ref>
+void naive_transpose(Exec& ex, Ref a, Ref out, std::uint64_t n) {
+  using T = typename Ref::value_type;
+  constexpr std::uint64_t W = (sizeof(T) + 7) / 8;
+  ex.cgc_pfor(0, n * n, W, [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t z = lo; z < hi; ++z) {
+      const std::uint64_t i = z / n, j = z % n;
+      out.store(z, a.load(j * n + i));
+    }
+  });
+}
+
+/// Parallelized recursive cache-oblivious transposition [1]: optimal misses
+/// but Theta(log n) critical pathlength (the span comparison of Theorem 1).
+/// Scheduled under SB: each recursive quadrant pair is a space-bounded fork.
+template <class Exec, class Ref>
+void recursive_transpose_helper(Exec& ex, sched::MatView<Ref> src,
+                                sched::MatView<Ref> dst) {
+  using T = typename Ref::value_type;
+  const std::uint64_t r = src.rows(), c = src.cols();
+  if (r * c <= 64) {
+    for (std::uint64_t i = 0; i < r; ++i) {
+      for (std::uint64_t j = 0; j < c; ++j) {
+        dst.store(j, i, src.load(i, j));
+      }
+    }
+    return;
+  }
+  const std::uint64_t space = 2 * (r / 2) * (c / 2) * ((sizeof(T) + 7) / 8);
+  if (r >= c) {
+    auto top = src.sub(0, 0, r / 2, c);
+    auto bot = src.sub(r / 2, 0, r - r / 2, c);
+    ex.sb_parallel2(
+        space, [&] { recursive_transpose_helper(ex, top,
+                                                dst.sub(0, 0, c, r / 2)); },
+        space, [&] {
+          recursive_transpose_helper(ex, bot, dst.sub(0, r / 2, c, r - r / 2));
+        });
+  } else {
+    auto left = src.sub(0, 0, r, c / 2);
+    auto right = src.sub(0, c / 2, r, c - c / 2);
+    ex.sb_parallel2(
+        space, [&] { recursive_transpose_helper(ex, left,
+                                                dst.sub(0, 0, c / 2, r)); },
+        space, [&] {
+          recursive_transpose_helper(ex, right, dst.sub(c / 2, 0, c - c / 2, r));
+        });
+  }
+}
+
+template <class Exec, class Ref>
+void recursive_transpose(Exec& ex, Ref a, Ref out, std::uint64_t n) {
+  recursive_transpose_helper(ex, sched::MatView<Ref>::full(a, n, n),
+                             sched::MatView<Ref>::full(out, n, n));
+}
+
+}  // namespace obliv::algo

@@ -1,0 +1,200 @@
+#include "hm/cache_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace obliv::hm {
+
+LruCache::LruCache(std::size_t lines) : lines_(lines) {
+  assert(lines_ > 0);
+  map_.reserve(lines_ * 2);
+}
+
+void LruCache::unlink(std::uint32_t idx) {
+  Node& n = nodes_[idx];
+  if (n.prev != kNil) {
+    nodes_[n.prev].next = n.next;
+  } else {
+    head_ = n.next;
+  }
+  if (n.next != kNil) {
+    nodes_[n.next].prev = n.prev;
+  } else {
+    tail_ = n.prev;
+  }
+}
+
+void LruCache::push_front(std::uint32_t idx) {
+  Node& n = nodes_[idx];
+  n.prev = kNil;
+  n.next = head_;
+  if (head_ != kNil) nodes_[head_].prev = idx;
+  head_ = idx;
+  if (tail_ == kNil) tail_ = idx;
+}
+
+bool LruCache::touch(std::uint64_t block) {
+  last_evicted_ = ~0ull;
+  auto it = map_.find(block);
+  if (it != map_.end()) {
+    const std::uint32_t idx = it->second;
+    if (head_ != idx) {
+      unlink(idx);
+      push_front(idx);
+    }
+    return true;
+  }
+  std::uint32_t idx;
+  if (map_.size() >= lines_) {
+    // Evict the LRU block and reuse its node.
+    idx = tail_;
+    last_evicted_ = nodes_[idx].block;
+    map_.erase(nodes_[idx].block);
+    unlink(idx);
+  } else if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(Node{});
+  }
+  nodes_[idx].block = block;
+  push_front(idx);
+  map_.emplace(block, idx);
+  return false;
+}
+
+bool LruCache::erase(std::uint64_t block) {
+  auto it = map_.find(block);
+  if (it == map_.end()) return false;
+  const std::uint32_t idx = it->second;
+  unlink(idx);
+  free_.push_back(idx);
+  map_.erase(it);
+  return true;
+}
+
+void LruCache::clear() {
+  map_.clear();
+  nodes_.clear();
+  free_.clear();
+  head_ = tail_ = kNil;
+  last_evicted_ = ~0ull;
+}
+
+CacheSim::CacheSim(MachineConfig cfg) : cfg_(std::move(cfg)) {
+  const std::uint32_t L = cfg_.cache_levels();
+  caches_.reserve(L);
+  counters_.resize(L);
+  for (std::uint32_t lvl = 1; lvl <= L; ++lvl) {
+    const std::size_t lines = std::max<std::uint64_t>(
+        1, cfg_.capacity(lvl) / cfg_.block(lvl));
+    std::vector<LruCache> row;
+    row.reserve(cfg_.caches_at(lvl));
+    for (std::uint32_t c = 0; c < cfg_.caches_at(lvl); ++c) {
+      row.emplace_back(lines);
+    }
+    caches_.push_back(std::move(row));
+    counters_[lvl - 1].resize(cfg_.caches_at(lvl));
+  }
+}
+
+void CacheSim::access(std::uint32_t core, std::uint64_t addr,
+                      std::uint32_t words, bool write) {
+  assert(core < cfg_.cores());
+  const std::uint64_t b1 = cfg_.block(1);
+  const std::uint64_t first = addr / b1;
+  const std::uint64_t last = (addr + std::max<std::uint32_t>(words, 1) - 1) / b1;
+  const std::uint32_t L = cfg_.cache_levels();
+  for (std::uint64_t blk1 = first; blk1 <= last; ++blk1) {
+    ++accesses_;
+    const std::uint64_t word0 = blk1 * b1;
+    // Coherence at B_1 granularity: a write invalidates other sharers.
+    if (cfg_.cores() > 1) {
+      auto& sharers = l1_sharers_[blk1];
+      const std::uint64_t me = 1ull << (core % 64);
+      if (write && (sharers & ~me) != 0) {
+        ++pingpong_;
+        for (std::uint32_t c = 0; c < cfg_.cores(); ++c) {
+          if (c == core) continue;
+          if (sharers & (1ull << (c % 64))) {
+            if (caches_[0][cfg_.cache_of(c, 1)].erase(blk1)) {
+              ++counters_[0][cfg_.cache_of(c, 1)].invalidations;
+            }
+          }
+        }
+        sharers = me;
+      } else {
+        sharers |= me;
+      }
+    }
+    // Walk up the hierarchy until a hit.
+    for (std::uint32_t lvl = 1; lvl <= L; ++lvl) {
+      const std::uint64_t blk = word0 / cfg_.block(lvl);
+      const std::uint32_t idx = cfg_.cache_of(core, lvl);
+      LruCache& cache = caches_[lvl - 1][idx];
+      CacheCounters& ctr = counters_[lvl - 1][idx];
+      if (cache.touch(blk)) {
+        ++ctr.hits;
+        break;
+      }
+      ++ctr.misses;
+      if (cache.last_evicted() != ~0ull) {
+        ++ctr.evictions;
+        if (lvl == 1) {
+          // Keep the sharer map in sync with L1 contents.
+          auto it = l1_sharers_.find(cache.last_evicted());
+          if (it != l1_sharers_.end()) {
+            it->second &= ~(1ull << (core % 64));
+            if (it->second == 0) l1_sharers_.erase(it);
+          }
+        }
+      }
+    }
+  }
+}
+
+const CacheCounters& CacheSim::counters(std::uint32_t level,
+                                        std::uint32_t idx) const {
+  return counters_.at(level - 1).at(idx);
+}
+
+std::uint64_t CacheSim::level_max_transfers(std::uint32_t level) const {
+  std::uint64_t best = 0;
+  for (const auto& c : counters_.at(level - 1)) {
+    best = std::max(best, c.misses + c.evictions);
+  }
+  return best;
+}
+
+std::uint64_t CacheSim::level_max_misses(std::uint32_t level) const {
+  std::uint64_t best = 0;
+  for (const auto& c : counters_.at(level - 1)) {
+    best = std::max(best, c.misses);
+  }
+  return best;
+}
+
+std::uint64_t CacheSim::level_total_misses(std::uint32_t level) const {
+  std::uint64_t sum = 0;
+  for (const auto& c : counters_.at(level - 1)) sum += c.misses;
+  return sum;
+}
+
+void CacheSim::reset_stats() {
+  for (auto& row : counters_) {
+    std::fill(row.begin(), row.end(), CacheCounters{});
+  }
+  pingpong_ = 0;
+  accesses_ = 0;
+}
+
+void CacheSim::clear() {
+  reset_stats();
+  for (auto& row : caches_) {
+    for (auto& c : row) c.clear();
+  }
+  l1_sharers_.clear();
+}
+
+}  // namespace obliv::hm

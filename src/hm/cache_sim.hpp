@@ -1,0 +1,126 @@
+// Multi-level cache simulator for the HM model.
+//
+// Cache complexity in the paper is defined as the maximum number of block
+// transfers into and out of any single level-i cache (Section II).  This
+// simulator measures exactly that: every memory access by a core walks the
+// hierarchy of fully-associative LRU caches on the core's path (its private
+// L1, the L2 it shares, ...), counting a miss at each level where the block
+// is absent.  Fully-associative LRU is the standard "ideal cache" of the
+// cache-oblivious literature [1], which the HM analyses assume.
+//
+// The simulator also models the ping-ponging discussed in Section III: the
+// coherence granularity is B_1, and a write to a block resident in another
+// core's L1 invalidates it there and counts a ping-pong event.  The CGC
+// scheduler's B_1-respecting chunking exists precisely to avoid these events
+// (ablated in bench_sched_ablation).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hm/config.hpp"
+
+namespace obliv::hm {
+
+/// Fully-associative LRU cache over abstract block ids.
+class LruCache {
+ public:
+  explicit LruCache(std::size_t lines);
+
+  /// Accesses `block`; returns true on hit.  On a miss the block is
+  /// installed, evicting the least-recently-used block if full.
+  /// `evicted` receives the victim block id (valid when the return of
+  /// `evicted_valid()` is true after the call).
+  bool touch(std::uint64_t block);
+
+  /// Removes `block` if present (coherence invalidation); returns true if
+  /// it was present.
+  bool erase(std::uint64_t block);
+
+  bool contains(std::uint64_t block) const { return map_.count(block) != 0; }
+
+  /// Block id evicted by the most recent touch(), or UINT64_MAX if none.
+  std::uint64_t last_evicted() const { return last_evicted_; }
+
+  void clear();
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t lines() const { return lines_; }
+
+ private:
+  struct Node {
+    std::uint64_t block;
+    std::uint32_t prev, next;
+  };
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  void unlink(std::uint32_t idx);
+  void push_front(std::uint32_t idx);
+
+  std::size_t lines_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_;
+  std::unordered_map<std::uint64_t, std::uint32_t> map_;
+  std::uint32_t head_ = kNil, tail_ = kNil;
+  std::uint64_t last_evicted_ = ~0ull;
+};
+
+/// Per-cache transfer counters.
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;       ///< blocks transferred *into* the cache
+  std::uint64_t evictions = 0;    ///< blocks transferred *out of* the cache
+  std::uint64_t invalidations = 0;  ///< coherence-induced removals (L1 only)
+};
+
+/// The whole-hierarchy simulator.
+class CacheSim {
+ public:
+  explicit CacheSim(MachineConfig cfg);
+
+  /// Simulates core `core` touching `words` consecutive words starting at
+  /// word address `addr` (read if !write).
+  void access(std::uint32_t core, std::uint64_t addr, std::uint32_t words,
+              bool write);
+
+  const MachineConfig& config() const { return cfg_; }
+
+  /// Counters of cache `idx` at 1-based `level`.
+  const CacheCounters& counters(std::uint32_t level, std::uint32_t idx) const;
+
+  /// The paper's per-level cache complexity: max over the q_i caches at
+  /// `level` of (misses + evictions).
+  std::uint64_t level_max_transfers(std::uint32_t level) const;
+
+  /// Max over caches at `level` of misses only (block reads).
+  std::uint64_t level_max_misses(std::uint32_t level) const;
+
+  /// Sum of misses over all caches at `level`.
+  std::uint64_t level_total_misses(std::uint32_t level) const;
+
+  /// Number of coherence ping-pong events (write hitting a B_1 block held
+  /// by other L1s).
+  std::uint64_t pingpong_events() const { return pingpong_; }
+
+  std::uint64_t total_accesses() const { return accesses_; }
+
+  /// Zeroes all counters but keeps cache contents (warm restart).
+  void reset_stats();
+
+  /// Empties every cache and zeroes counters (cold restart).
+  void clear();
+
+ private:
+  MachineConfig cfg_;
+  // caches_[level-1][idx]
+  std::vector<std::vector<LruCache>> caches_;
+  std::vector<std::vector<CacheCounters>> counters_;
+  // Sharer bitmask per B_1 block, for the coherence model (supports up to
+  // 64 cores, enough for every preset).
+  std::unordered_map<std::uint64_t, std::uint64_t> l1_sharers_;
+  std::uint64_t pingpong_ = 0;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace obliv::hm

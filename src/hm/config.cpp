@@ -1,0 +1,115 @@
+#include "hm/config.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace obliv::hm {
+
+MachineConfig::MachineConfig(std::string name, std::vector<LevelSpec> levels)
+    : name_(std::move(name)), levels_(std::move(levels)) {
+  cores_under_.resize(levels_.size());
+  std::uint32_t acc = 1;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    acc *= levels_[i].fanin;
+    cores_under_[i] = acc;
+  }
+  cores_ = levels_.empty() ? 1 : cores_under_.back();
+  validate();
+}
+
+std::uint32_t MachineConfig::caches_at(std::uint32_t level) const {
+  return cores_ / cores_under(level);
+}
+
+std::uint32_t MachineConfig::cores_under(std::uint32_t level) const {
+  return cores_under_.at(level - 1);
+}
+
+std::uint32_t MachineConfig::smallest_level_fitting(std::uint64_t words) const {
+  for (std::uint32_t i = 1; i <= cache_levels(); ++i) {
+    if (capacity(i) >= words) return i;
+  }
+  return h();
+}
+
+void MachineConfig::validate() const {
+  auto fail = [&](const std::string& msg) {
+    throw std::invalid_argument("MachineConfig '" + name_ + "': " + msg);
+  };
+  if (levels_.empty()) fail("at least one cache level is required");
+  if (levels_.front().fanin != 1) fail("p_1 must be 1 (private L1 per core)");
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    const LevelSpec& lv = levels_[i];
+    std::ostringstream at;
+    at << "level " << (i + 1) << ": ";
+    if (lv.capacity_words == 0 || lv.block_words == 0) {
+      fail(at.str() + "capacity and block size must be positive");
+    }
+    if (lv.block_words > lv.capacity_words) {
+      fail(at.str() + "block larger than cache");
+    }
+    if (lv.capacity_words < lv.block_words * lv.block_words) {
+      fail(at.str() + "tall-cache assumption C_i >= B_i^2 violated");
+    }
+    if (i > 0) {
+      const LevelSpec& below = levels_[i - 1];
+      if (lv.fanin == 0) fail(at.str() + "fanin must be positive");
+      // C_i >= c_i * p_i * C_{i-1} with c_i >= 1.
+      if (lv.capacity_words < static_cast<std::uint64_t>(lv.fanin) *
+                                  below.capacity_words) {
+        fail(at.str() + "cache growth constraint C_i >= p_i * C_{i-1} violated");
+      }
+      if (lv.block_words < below.block_words) {
+        fail(at.str() + "block sizes must be non-decreasing with level");
+      }
+    }
+  }
+}
+
+std::string MachineConfig::describe() const {
+  std::ostringstream os;
+  os << name_ << ": h=" << h() << ", p=" << cores();
+  for (std::uint32_t i = 1; i <= cache_levels(); ++i) {
+    os << " | L" << i << " q=" << caches_at(i) << " C=" << capacity(i)
+       << "w B=" << block(i) << "w";
+  }
+  return os.str();
+}
+
+MachineConfig MachineConfig::sequential(std::uint64_t capacity_words,
+                                        std::uint64_t block_words) {
+  return MachineConfig("sequential",
+                       {LevelSpec{capacity_words, block_words, 1}});
+}
+
+MachineConfig MachineConfig::shared_l2(std::uint32_t cores) {
+  // L1: 2K words (16 KiB of doubles) private; L2: grows with core count so
+  // the C_2 >= p_2 C_1 constraint holds with headroom (c_2 = 16).
+  const std::uint64_t c1 = 2048, b1 = 8;
+  const std::uint64_t c2 = 16ull * cores * c1, b2 = 16;
+  return MachineConfig("shared_l2",
+                       {LevelSpec{c1, b1, 1}, LevelSpec{c2, b2, cores}});
+}
+
+MachineConfig MachineConfig::three_level(std::uint32_t l2_fanin,
+                                         std::uint32_t l3_fanin) {
+  const std::uint64_t c1 = 1024, b1 = 8;
+  const std::uint64_t c2 = 8ull * l2_fanin * c1, b2 = 16;
+  const std::uint64_t c3 = 8ull * l3_fanin * c2, b3 = 16;
+  return MachineConfig("three_level", {LevelSpec{c1, b1, 1},
+                                       LevelSpec{c2, b2, l2_fanin},
+                                       LevelSpec{c3, b3, l3_fanin}});
+}
+
+MachineConfig MachineConfig::figure1() {
+  // The h=5 machine sketched in Figure 1: fanins (1, 2, 2, 2) -> 8 cores.
+  const std::uint64_t b = 8;
+  return MachineConfig("figure1", {LevelSpec{512, b, 1},
+                                   LevelSpec{4096, b, 2},
+                                   LevelSpec{32768, 16, 2},
+                                   LevelSpec{262144, 16, 2}});
+}
+
+}  // namespace obliv::hm

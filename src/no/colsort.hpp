@@ -1,0 +1,146 @@
+// NO sorting via Leighton's columnsort -- the basis of the network-oblivious
+// sorting algorithm of [4] (reviewed in Section IV; the paper notes its
+// computation complexity is suboptimal by a polylog factor, which [13]
+// removes by specifying the algorithm on M(n^(1-eps))).
+//
+// We instantiate the M(n^(1-eps)) variant with eps such that one column
+// lives on one PE: the r x s matrix (column-major, r rows, s columns,
+// r >= 2(s-1)^2) assigns column j to PE j.  The four column-sort steps are
+// then purely local computation, and all communication happens in the three
+// fixed permutations (transpose, untranspose, half-shift) -- giving the
+// Theta(n/(pB)) communication of Table II's sorting row.
+//
+// The shift phase uses one extra column (PE s), per Leighton's original
+// formulation, with -inf/+inf sentinels.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "no/machine.hpp"
+#include "util/bits.hpp"
+
+namespace obliv::no {
+
+/// Geometry chosen for a columnsort run.
+struct ColsortShape {
+  std::uint64_t r = 0;       ///< rows (column length)
+  std::uint64_t s = 0;       ///< columns == PEs used for data
+  std::uint64_t padded = 0;  ///< r * s >= n
+};
+
+/// Picks the largest s (power of two) with r = ceil(n/s) rounded up so that
+/// r >= 2 (s-1)^2 and r * s >= n.
+inline ColsortShape colsort_shape(std::uint64_t n) {
+  ColsortShape shape;
+  std::uint64_t s = 1;
+  while (true) {
+    const std::uint64_t s2 = s * 2;
+    const std::uint64_t r2 = util::ceil_div(n, s2);
+    if (s2 > 1 && r2 < 2 * (s2 - 1) * (s2 - 1)) break;
+    s = s2;
+    if (s >= n) break;
+  }
+  shape.s = s;
+  shape.r = std::max<std::uint64_t>(1, util::ceil_div(n, s));
+  // Ensure the validity condition holds after rounding r up.
+  if (s > 1 && shape.r < 2 * (s - 1) * (s - 1)) {
+    shape.r = 2 * (s - 1) * (s - 1);
+  }
+  shape.padded = shape.r * shape.s;
+  return shape;
+}
+
+namespace detail {
+
+/// Sorts every column locally (column j on PE j): computation only.
+template <class T>
+void sort_columns(NoMachine& mach, std::vector<T>& m, std::uint64_t r,
+                  std::uint64_t s, std::uint64_t words_per) {
+  for (std::uint64_t j = 0; j < s; ++j) {
+    std::sort(m.begin() + j * r, m.begin() + (j + 1) * r);
+    mach.compute(j, r * (util::ilog2(r | 1) + 1) * words_per);
+  }
+  mach.end_superstep();
+}
+
+/// Applies a global position permutation (column-major linear indices):
+/// new[dst_of(k)] = old[k], declaring PE-to-PE sends.
+template <class T, class F>
+void permute(NoMachine& mach, std::vector<T>& m, std::uint64_t r,
+             std::uint64_t words_per, F&& dst_of) {
+  std::vector<T> tmp(m.size());
+  for (std::uint64_t k = 0; k < m.size(); ++k) {
+    const std::uint64_t d = dst_of(k);
+    tmp[d] = m[k];
+    mach.send(k / r, d / r, words_per);
+  }
+  m.swap(tmp);
+  mach.end_superstep();
+}
+
+}  // namespace detail
+
+/// Sorts `data` ascending on M(mach.pes()); mach must have at least
+/// shape.s + 1 PEs for colsort_shape(data.size()).  `lowest` / `highest`
+/// are sentinels strictly outside the key range.
+template <class T>
+void no_columnsort(NoMachine& mach, std::vector<T>& data, T lowest,
+                   T highest) {
+  const std::uint64_t n = data.size();
+  if (n <= 1) return;
+  const ColsortShape shape = colsort_shape(n);
+  const std::uint64_t r = shape.r, s = shape.s;
+  assert(mach.pes() >= s + 1);
+  constexpr std::uint64_t W = (sizeof(T) + 7) / 8;
+
+  // Pad to r*s with +inf sentinels (removed at the end).
+  std::vector<T> m(data);
+  m.resize(shape.padded, highest);
+
+  // Steps 1-2: sort columns; "transpose": element at column-major rank k
+  // moves to the cell whose row-major rank is k, i.e. cell
+  // (row k/s, col k%s) = column-major index (k%s)*r + k/s.
+  detail::sort_columns(mach, m, r, s, W);
+  detail::permute(mach, m, r, W, [&](std::uint64_t k) {
+    return (k % s) * r + (k / s);
+  });
+
+  // Steps 3-4: sort columns; "untranspose" (inverse of step 2): the element
+  // in cell (i, j) returns to column-major rank i*s + j.
+  detail::sort_columns(mach, m, r, s, W);
+  detail::permute(mach, m, r, W, [&](std::uint64_t k) {
+    const std::uint64_t i = k % r, j = k / r;
+    return i * s + j;
+  });
+
+  // Step 5: sort columns.
+  detail::sort_columns(mach, m, r, s, W);
+
+  // Steps 6-8: shift down by r/2 into s+1 columns, sort, unshift.
+  const std::uint64_t h = r / 2;
+  std::vector<T> wide((s + 1) * r, lowest);
+  for (std::uint64_t k = 0; k < s * r; ++k) {
+    const std::uint64_t d = k + h;
+    wide[d] = m[k];
+    mach.send(k / r, d / r, W);
+  }
+  for (std::uint64_t t = s * r + h; t < (s + 1) * r; ++t) wide[t] = highest;
+  mach.end_superstep();
+  detail::sort_columns(mach, wide, r, s + 1, W);
+  for (std::uint64_t k = 0; k < s * r; ++k) {
+    const std::uint64_t src = k + h;
+    m[k] = wide[src];
+    mach.send(src / r, k / r, W);
+  }
+  mach.end_superstep();
+
+  // Matrix is sorted in column-major order; drop padding.
+  m.resize(n);
+  data.swap(m);
+}
+
+}  // namespace obliv::no

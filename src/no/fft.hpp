@@ -1,0 +1,122 @@
+// NO-FFT [4]: the network-oblivious FFT on M(n), adapted to supersteps.
+//
+// PE t holds element t of the input.  A length-m range decomposes as an
+// m1 x m2 matrix; each of the three transposes is one superstep permuting
+// elements among the range's PEs, sub-FFTs recurse on contiguous PE
+// subranges (parallel, disjoint -> accounted by max), and the twiddle step
+// is local computation.  Communication on M(p, B) is
+// Theta((n / (p B)) log_{n/p} n) (Table II).
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+#include "no/machine.hpp"
+#include "util/bits.hpp"
+
+namespace obliv::no {
+
+using cplx = std::complex<double>;
+
+namespace detail {
+
+constexpr std::uint64_t kCplxWords = 2;
+
+inline void no_fft_rec(NoMachine& mach, std::vector<cplx>& x,
+                       std::uint64_t lo, std::uint64_t len) {
+  if (len <= 8) {
+    // Gather the range to PE lo, compute the O(len^2) DFT locally, scatter.
+    for (std::uint64_t t = 1; t < len; ++t) {
+      mach.send(lo + t, lo, kCplxWords);
+    }
+    mach.end_superstep();
+    std::vector<cplx> in(x.begin() + lo, x.begin() + lo + len);
+    for (std::uint64_t f = 0; f < len; ++f) {
+      cplx acc{0, 0};
+      for (std::uint64_t t = 0; t < len; ++t) {
+        acc += in[t] * std::polar(1.0, -2.0 * std::numbers::pi *
+                                           double((f * t) % len) /
+                                           double(len));
+      }
+      x[lo + f] = acc;
+    }
+    mach.compute(lo, 4 * len * len);
+    for (std::uint64_t t = 1; t < len; ++t) {
+      mach.send(lo, lo + t, kCplxWords);
+    }
+    mach.end_superstep();
+    return;
+  }
+
+  const unsigned k = util::ilog2(len);
+  const std::uint64_t n1 = std::uint64_t{1} << ((k + 1) / 2);
+  const std::uint64_t n2 = std::uint64_t{1} << (k / 2);
+
+  auto permute = [&](auto&& dst_of) {
+    std::vector<cplx> tmp(len);
+    for (std::uint64_t t = 0; t < len; ++t) {
+      const std::uint64_t d = dst_of(t);
+      tmp[d] = x[lo + t];
+      mach.send(lo + t, lo + d, kCplxWords);
+    }
+    std::copy(tmp.begin(), tmp.end(), x.begin() + lo);
+    mach.end_superstep();
+  };
+
+  // Transpose n1 x n2 -> n2 x n1.
+  permute([&](std::uint64_t t) {
+    const std::uint64_t a = t / n2, b = t % n2;
+    return b * n1 + a;
+  });
+
+  // n2 parallel sub-FFTs of length n1 on disjoint contiguous subranges.
+  mach.parallel_begin();
+  for (std::uint64_t b = 0; b < n2; ++b) {
+    no_fft_rec(mach, x, lo + b * n1, n1);
+    mach.parallel_next();
+  }
+  mach.parallel_end();
+
+  // Twiddle: element (b, c) *= w_len^{bc}; purely local.
+  for (std::uint64_t t = 0; t < len; ++t) {
+    const std::uint64_t b = t / n1, c = t % n1;
+    x[lo + t] *= std::polar(1.0, -2.0 * std::numbers::pi *
+                                     double((b * c) % len) / double(len));
+    mach.compute(lo + t, 8);
+  }
+  mach.end_superstep();
+
+  // Transpose back n2 x n1 -> n1 x n2.
+  permute([&](std::uint64_t t) {
+    const std::uint64_t b = t / n1, c = t % n1;
+    return c * n2 + b;
+  });
+
+  // n1 parallel sub-FFTs of length n2.
+  mach.parallel_begin();
+  for (std::uint64_t c = 0; c < n1; ++c) {
+    no_fft_rec(mach, x, lo + c * n2, n2);
+    mach.parallel_next();
+  }
+  mach.parallel_end();
+
+  // Final transpose: out[d * n1 + c] = F[c * n2 + d].
+  permute([&](std::uint64_t t) {
+    const std::uint64_t c = t / n2, d = t % n2;
+    return d * n1 + c;
+  });
+}
+
+}  // namespace detail
+
+/// In-place NO DFT of `x` (power-of-two length) on M(x.size()).
+inline void no_fft(NoMachine& mach, std::vector<cplx>& x) {
+  assert(util::is_pow2(x.size()) && mach.pes() >= x.size());
+  detail::no_fft_rec(mach, x, 0, x.size());
+}
+
+}  // namespace obliv::no

@@ -1,0 +1,252 @@
+#include "no/machine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/bits.hpp"
+
+namespace obliv::no {
+
+DbspConfig DbspConfig::mesh_like(std::uint32_t P) {
+  DbspConfig cfg;
+  cfg.P = P;
+  const unsigned levels = util::ilog2(std::uint64_t{P} | 1);
+  for (unsigned i = 0; i < std::max(1u, levels); ++i) {
+    const double cluster = static_cast<double>(P) / double(1u << i);
+    cfg.g.push_back(std::sqrt(cluster));
+    cfg.B.push_back(std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::sqrt(cluster))));
+  }
+  return cfg;
+}
+
+NoMachine::NoMachine(std::uint64_t n_pes, std::vector<FoldConfig> folds,
+                     DbspConfig dbsp)
+    : n_(n_pes), folds_(std::move(folds)), dbsp_(std::move(dbsp)) {
+  states_.resize(folds_.size());
+  for (std::size_t f = 0; f < folds_.size(); ++f) {
+    assert(folds_[f].p >= 1 && folds_[f].p <= n_);
+    states_[f].ops.assign(folds_[f].p, 0);
+  }
+  dbsp_worst_level_ =
+      dbsp_.g.empty() ? 0 : static_cast<std::uint32_t>(dbsp_.g.size()) - 1;
+}
+
+void NoMachine::send(std::uint64_t src_pe, std::uint64_t dst_pe,
+                     std::uint64_t words) {
+  assert(src_pe < n_ && dst_pe < n_);
+  if (src_pe == dst_pe || words == 0) return;
+  superstep_dirty_ = true;
+  total_words_ += words;
+  for (std::size_t f = 0; f < folds_.size(); ++f) {
+    const std::uint32_t p = folds_[f].p;
+    const std::uint64_t per = n_ / p;  // consecutive PEs per processor
+    const std::uint64_t sp = std::min<std::uint64_t>(src_pe / per, p - 1);
+    const std::uint64_t dp = std::min<std::uint64_t>(dst_pe / per, p - 1);
+    if (sp == dp) continue;
+    states_[f].out_words[(sp << 32) | dp] += words;
+    states_[f].touched.insert(static_cast<std::uint32_t>(sp));
+    states_[f].touched.insert(static_cast<std::uint32_t>(dp));
+  }
+  if (dbsp_.P > 0) {
+    const std::uint64_t per = n_ / dbsp_.P;
+    const std::uint64_t sp = std::min<std::uint64_t>(src_pe / per,
+                                                     dbsp_.P - 1);
+    const std::uint64_t dp = std::min<std::uint64_t>(dst_pe / per,
+                                                     dbsp_.P - 1);
+    if (sp != dp) {
+      dbsp_words_[(sp << 32) | dp] += words;
+      dbsp_touched_.insert(static_cast<std::uint32_t>(sp));
+      dbsp_touched_.insert(static_cast<std::uint32_t>(dp));
+      // Cluster level i has clusters of P / 2^i processors; the message
+      // needs the smallest i (largest cluster) with sp, dp in one cluster.
+      std::uint32_t level = static_cast<std::uint32_t>(dbsp_.g.size()) - 1;
+      while (level > 0 &&
+             (sp / (dbsp_.P >> level)) != (dp / (dbsp_.P >> level))) {
+        --level;
+      }
+      dbsp_worst_level_ = std::min(dbsp_worst_level_, level);
+    }
+  }
+}
+
+void NoMachine::compute(std::uint64_t pe, std::uint64_t ops) {
+  assert(pe < n_);
+  if (ops == 0) return;
+  superstep_dirty_ = true;
+  for (std::size_t f = 0; f < folds_.size(); ++f) {
+    const std::uint32_t p = folds_[f].p;
+    const std::uint64_t per = n_ / p;
+    const std::uint64_t proc = std::min<std::uint64_t>(pe / per, p - 1);
+    states_[f].ops[proc] += ops;
+    states_[f].touched.insert(static_cast<std::uint32_t>(proc));
+  }
+  if (dbsp_.P > 0) {
+    const std::uint64_t per = n_ / dbsp_.P;
+    dbsp_touched_.insert(static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(pe / per, dbsp_.P - 1)));
+  }
+}
+
+void NoMachine::end_superstep() {
+  if (!superstep_dirty_) return;
+  ++supersteps_;
+  for (std::size_t f = 0; f < folds_.size(); ++f) {
+    FoldState& st = states_[f];
+    const std::uint32_t p = folds_[f].p;
+    const std::uint64_t B = folds_[f].block;
+    std::vector<std::uint64_t> out_blocks(p, 0), in_blocks(p, 0);
+    for (const auto& [key, words] : st.out_words) {
+      const std::uint64_t sp = key >> 32, dp = key & 0xffffffffull;
+      const std::uint64_t blocks = util::ceil_div(words, B);
+      out_blocks[sp] += blocks;
+      in_blocks[dp] += blocks;
+    }
+    std::uint64_t h = 0;
+    for (std::uint32_t r = 0; r < p; ++r) {
+      h = std::max({h, out_blocks[r], in_blocks[r]});
+    }
+    st.comm_total += h;
+    std::uint64_t w = 0;
+    for (std::uint32_t r = 0; r < p; ++r) w = std::max(w, st.ops[r]);
+    st.comp_total += w;
+    st.out_words.clear();
+    std::fill(st.ops.begin(), st.ops.end(), 0);
+  }
+  if (dbsp_.P > 0 && !dbsp_words_.empty()) {
+    const std::uint32_t lvl = dbsp_worst_level_;
+    const std::uint64_t B = dbsp_.B[lvl];
+    std::vector<std::uint64_t> out_blocks(dbsp_.P, 0), in_blocks(dbsp_.P, 0);
+    for (const auto& [key, words] : dbsp_words_) {
+      const std::uint64_t sp = key >> 32, dp = key & 0xffffffffull;
+      const std::uint64_t blocks = util::ceil_div(words, B);
+      out_blocks[sp] += blocks;
+      in_blocks[dp] += blocks;
+    }
+    std::uint64_t h = 0;
+    for (std::uint32_t r = 0; r < dbsp_.P; ++r) {
+      h = std::max({h, out_blocks[r], in_blocks[r]});
+    }
+    dbsp_time_ += static_cast<double>(h) * dbsp_.g[lvl];
+    dbsp_words_.clear();
+  }
+  dbsp_worst_level_ =
+      dbsp_.g.empty() ? 0 : static_cast<std::uint32_t>(dbsp_.g.size()) - 1;
+  superstep_dirty_ = false;
+}
+
+template <class T>
+T NoMachine::combine_branches(
+    const std::vector<T>& deltas,
+    const std::vector<std::unordered_set<std::uint32_t>>& procs) {
+  // Parallel branches run simultaneously, but branches folded onto the same
+  // processor time-share it.  Attribute each branch's cost to every
+  // processor it touched and charge the busiest processor: disjoint
+  // branches combine by max, co-located ones add.  (Attributing the full
+  // branch delta to each touched processor is an upper bound for branches
+  // that straddle processors.)
+  std::unordered_map<std::uint32_t, T> per_proc;
+  T best{};
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    if (procs[i].empty()) continue;
+    for (std::uint32_t q : procs[i]) {
+      T& v = per_proc[q];
+      v += deltas[i];
+      best = std::max(best, v);
+    }
+  }
+  return best;
+}
+
+void NoMachine::parallel_begin() {
+  end_superstep();
+  ParFrame f;
+  f.branch_comm.resize(states_.size());
+  f.branch_comp.resize(states_.size());
+  f.branch_procs.resize(states_.size());
+  for (auto& st : states_) {
+    f.base_comm.push_back(st.comm_total);
+    f.base_comp.push_back(st.comp_total);
+    f.outer_touched.push_back(std::move(st.touched));
+    st.touched.clear();
+  }
+  f.base_dbsp = dbsp_time_;
+  f.outer_dbsp_touched = std::move(dbsp_touched_);
+  dbsp_touched_.clear();
+  f.base_steps = supersteps_;
+  par_stack_.push_back(std::move(f));
+}
+
+void NoMachine::parallel_next() {
+  end_superstep();
+  ParFrame& f = par_stack_.back();
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    f.branch_comm[i].push_back(states_[i].comm_total - f.base_comm[i]);
+    f.branch_comp[i].push_back(states_[i].comp_total - f.base_comp[i]);
+    f.branch_procs[i].push_back(std::move(states_[i].touched));
+    states_[i].touched.clear();
+    states_[i].comm_total = f.base_comm[i];
+    states_[i].comp_total = f.base_comp[i];
+  }
+  f.branch_dbsp.push_back(dbsp_time_ - f.base_dbsp);
+  f.branch_dbsp_procs.push_back(std::move(dbsp_touched_));
+  dbsp_touched_.clear();
+  dbsp_time_ = f.base_dbsp;
+  f.best_steps = std::max(f.best_steps, supersteps_ - f.base_steps);
+  supersteps_ = f.base_steps;
+}
+
+void NoMachine::parallel_end() {
+  ParFrame& f = par_stack_.back();
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    states_[i].comm_total =
+        f.base_comm[i] + combine_branches(f.branch_comm[i], f.branch_procs[i]);
+    states_[i].comp_total =
+        f.base_comp[i] + combine_branches(f.branch_comp[i], f.branch_procs[i]);
+    // The enclosing context's branch (if any) has touched everything the
+    // inner branches touched.
+    states_[i].touched = std::move(f.outer_touched[i]);
+    for (const auto& s : f.branch_procs[i]) {
+      states_[i].touched.insert(s.begin(), s.end());
+    }
+  }
+  dbsp_time_ =
+      f.base_dbsp + combine_branches(f.branch_dbsp, f.branch_dbsp_procs);
+  dbsp_touched_ = std::move(f.outer_dbsp_touched);
+  for (const auto& s : f.branch_dbsp_procs) {
+    dbsp_touched_.insert(s.begin(), s.end());
+  }
+  // Branches on disjoint PEs run their supersteps in lockstep: max.
+  supersteps_ = f.base_steps + f.best_steps;
+  par_stack_.pop_back();
+}
+
+std::uint64_t NoMachine::communication(std::size_t idx) const {
+  return states_.at(idx).comm_total;
+}
+
+std::uint64_t NoMachine::computation(std::size_t idx) const {
+  return states_.at(idx).comp_total;
+}
+
+void NoMachine::reset() {
+  for (auto& st : states_) {
+    st.out_words.clear();
+    std::fill(st.ops.begin(), st.ops.end(), 0);
+    st.comm_total = 0;
+    st.comp_total = 0;
+    st.touched.clear();
+  }
+  dbsp_words_.clear();
+  dbsp_touched_.clear();
+  par_stack_.clear();
+  dbsp_time_ = 0;
+  dbsp_worst_level_ =
+      dbsp_.g.empty() ? 0 : static_cast<std::uint32_t>(dbsp_.g.size()) - 1;
+  supersteps_ = 0;
+  total_words_ = 0;
+  superstep_dirty_ = false;
+}
+
+}  // namespace obliv::no

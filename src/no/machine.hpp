@@ -1,0 +1,141 @@
+// The network-oblivious machine models of Section IV.
+//
+// An NO algorithm is specified for M(N): a complete network of N processing
+// elements executing synchronous supersteps.  Its complexity is evaluated on
+// M(p, B) for p <= N processors and block size B: each processor simulates
+// N/p consecutive PEs, and the communication complexity is the sum over
+// supersteps of the maximum number of B-word blocks any processor sends or
+// receives in that superstep.  The computation complexity is the analogous
+// sum of per-processor operation maxima.
+//
+// NoMachine is a pure accounting engine: algorithms perform their own data
+// movement on host memory and *declare* every PE-to-PE transfer with
+// send(); the engine folds the traffic onto any number of (p, B)
+// configurations simultaneously, and onto a D-BSP(P, g, B) cost model
+// (Bilardi et al. [18]): each superstep is labeled with the smallest
+// cluster granularity containing all of its messages and charged
+// h_s * g_{i_s} with block size B_{i_s}.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace obliv::no {
+
+/// One folding M(p, B) under which complexity is measured.
+struct FoldConfig {
+  std::uint32_t p;
+  std::uint64_t block;
+};
+
+/// D-BSP(P, g, B) parameters: g[i] and B[i] for cluster levels
+/// i = 0..log2(P)-1 (level i has 2^i clusters of P/2^i processors).
+struct DbspConfig {
+  std::uint32_t P = 0;  ///< 0 disables D-BSP accounting
+  std::vector<double> g;
+  std::vector<std::uint64_t> B;
+
+  /// A conventional instance: g_i ~ sqrt(cluster size) (mesh-like costs),
+  /// B_i halving with i.
+  static DbspConfig mesh_like(std::uint32_t P);
+};
+
+class NoMachine {
+ public:
+  NoMachine(std::uint64_t n_pes, std::vector<FoldConfig> folds,
+            DbspConfig dbsp = {});
+
+  std::uint64_t pes() const { return n_; }
+  const std::vector<FoldConfig>& folds() const { return folds_; }
+
+  /// Declares that PE `src` sends `words` words to PE `dst` in the current
+  /// superstep.  src == dst is free (local) and ignored.
+  void send(std::uint64_t src_pe, std::uint64_t dst_pe, std::uint64_t words);
+
+  /// Declares `ops` units of local computation at `pe`.
+  void compute(std::uint64_t pe, std::uint64_t ops);
+
+  /// Closes the current superstep and accumulates its costs.
+  void end_superstep();
+
+  /// Parallel-branch accounting: branches running on *disjoint* PE groups
+  /// execute simultaneously in the real machine, so their costs combine by
+  /// max, not sum.  Usage:
+  ///   parallel_begin();
+  ///   for each branch { run branch; parallel_next(); }
+  ///   parallel_end();
+  /// Nesting is allowed.  Each call fences the current superstep.
+  void parallel_begin();
+  void parallel_next();
+  void parallel_end();
+
+  /// Sum over supersteps of max-per-processor blocks sent/received, under
+  /// fold `idx`.
+  std::uint64_t communication(std::size_t idx) const;
+
+  /// Sum over supersteps of max-per-processor operations, under fold `idx`.
+  std::uint64_t computation(std::size_t idx) const;
+
+  /// D-BSP communication time (0 if disabled).
+  double dbsp_time() const { return dbsp_time_; }
+
+  std::uint64_t supersteps() const { return supersteps_; }
+  std::uint64_t total_message_words() const { return total_words_; }
+
+  void reset();
+
+ private:
+  struct FoldState {
+    // Per-superstep scratch, keyed by (src_proc << 32 | dst_proc).
+    std::unordered_map<std::uint64_t, std::uint64_t> out_words;
+    std::vector<std::uint64_t> ops;  // per processor, current superstep
+    std::uint64_t comm_total = 0;
+    std::uint64_t comp_total = 0;
+    // Processors touched since the innermost parallel_begin/next; used to
+    // decide whether sibling branches really run on disjoint processors
+    // under this fold.
+    std::unordered_set<std::uint32_t> touched;
+  };
+
+  struct ParFrame {
+    std::vector<std::uint64_t> base_comm, base_comp;
+    // Per fold: deltas of each completed branch and the processors each
+    // branch touched.  Combined at parallel_end: max when branches are on
+    // pairwise-disjoint processors (true simultaneity), sum otherwise.
+    std::vector<std::vector<std::uint64_t>> branch_comm, branch_comp;
+    std::vector<std::vector<std::unordered_set<std::uint32_t>>> branch_procs;
+    double base_dbsp = 0;
+    std::vector<double> branch_dbsp;
+    std::vector<std::unordered_set<std::uint32_t>> branch_dbsp_procs;
+    std::uint64_t base_steps = 0, best_steps = 0;
+    // Touched-sets of the enclosing context, restored (plus all branch
+    // activity) at parallel_end so nested frames see inner activity.
+    std::vector<std::unordered_set<std::uint32_t>> outer_touched;
+    std::unordered_set<std::uint32_t> outer_dbsp_touched;
+  };
+
+  /// Combines branch deltas: max if the touched sets are pairwise disjoint,
+  /// sum otherwise.
+  template <class T>
+  static T combine_branches(
+      const std::vector<T>& deltas,
+      const std::vector<std::unordered_set<std::uint32_t>>& procs);
+
+  std::uint64_t n_;
+  std::vector<FoldConfig> folds_;
+  std::vector<FoldState> states_;
+  std::vector<ParFrame> par_stack_;
+  DbspConfig dbsp_;
+  // D-BSP per-superstep scratch (under p = dbsp_.P folding).
+  std::unordered_map<std::uint64_t, std::uint64_t> dbsp_words_;
+  std::unordered_set<std::uint32_t> dbsp_touched_;
+  std::uint32_t dbsp_worst_level_ = 0;  // largest cluster needed (level idx)
+  double dbsp_time_ = 0;
+  std::uint64_t supersteps_ = 0;
+  std::uint64_t total_words_ = 0;
+  bool superstep_dirty_ = false;
+};
+
+}  // namespace obliv::no

@@ -1,0 +1,30 @@
+// NO matrix transposition [4]: on M(n^2), PE (i, j) holds A[i][j] and sends
+// it to PE (j, i) in a single superstep.  On M(p, B) the communication
+// complexity is Theta(n^2 / (B p)) (Table II), because the off-diagonal
+// processor blocks exchange their full contents in aggregated blocks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "no/machine.hpp"
+
+namespace obliv::no {
+
+/// Transposes the n x n row-major matrix `a` into `out` on M(n^2).
+/// `mach` must have exactly n * n PEs.
+inline void no_transpose(NoMachine& mach, const std::vector<double>& a,
+                         std::vector<double>& out, std::uint64_t n) {
+  out.resize(n * n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (std::uint64_t j = 0; j < n; ++j) {
+      const std::uint64_t src = i * n + j, dst = j * n + i;
+      mach.send(src, dst, 1);
+      mach.compute(src, 1);
+      out[dst] = a[src];
+    }
+  }
+  mach.end_superstep();
+}
+
+}  // namespace obliv::no

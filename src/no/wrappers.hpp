@@ -1,0 +1,59 @@
+// NO-LR and NO connected components (paper, Section VI-B, Theorems 9 & 10).
+//
+// The paper derives these by adapting the MO algorithms: nodes are evenly
+// distributed among the PEs and every step is O(1) sorts and scans.  We
+// realize exactly that by running the MO algorithm templates on NoExecutor:
+// the block-distributed buffers give the even distribution, CGC pfors become
+// superstep-fenced PE loops, and SPMS's CGC=>SB recursion maps to recursive
+// PE-group splitting.  The declared remote accesses reproduce the sort-and-
+// scan communication pattern that Theorems 9 and 10 bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/graph.hpp"
+#include "algo/listrank.hpp"
+#include "no/executor.hpp"
+#include "no/machine.hpp"
+
+namespace obliv::no {
+
+/// NO-LR on M(mach.pes()): ranks of a linked list given as host succ/pred
+/// arrays; returns dist-from-end per node.
+inline std::vector<std::uint64_t> no_list_rank(
+    NoMachine& mach, const std::vector<std::uint64_t>& succ,
+    const std::vector<std::uint64_t>& pred) {
+  NoExecutor ex(&mach);
+  const std::uint64_t n = succ.size();
+  auto sb = ex.make_buf<std::uint64_t>(n);
+  auto pb = ex.make_buf<std::uint64_t>(n);
+  auto db = ex.make_buf<std::uint64_t>(n);
+  sb.raw() = succ;
+  pb.raw() = pred;
+  algo::mo_list_rank(ex, sb.ref(), pb.ref(), db.ref());
+  mach.end_superstep();
+  return db.raw();
+}
+
+/// NO connected components on M(mach.pes()).
+inline std::vector<std::uint64_t> no_connected_components(
+    NoMachine& mach, const algo::EdgeList& g) {
+  NoExecutor ex(&mach);
+  auto comp = algo::mo_connected_components(ex, g);
+  mach.end_superstep();
+  return comp;
+}
+
+/// NO prefix sum (Table II row 1) on M(mach.pes()).
+inline std::vector<std::uint64_t> no_prefix_sum(
+    NoMachine& mach, const std::vector<std::uint64_t>& xs) {
+  NoExecutor ex(&mach);
+  auto buf = ex.make_buf<std::uint64_t>(xs.size());
+  buf.raw() = xs;
+  algo::mo_prefix_sum(ex, buf.ref());
+  mach.end_superstep();
+  return buf.raw();
+}
+
+}  // namespace obliv::no

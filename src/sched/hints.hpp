@@ -1,0 +1,39 @@
+// Scheduler-hint vocabulary of Section III.
+//
+// An MO algorithm names no machine parameters, but annotates its parallel
+// constructs with one of three hints that the run-time scheduler interprets:
+//
+//   * CGC      -- coarse-grained contiguous: a parallel for loop over a
+//                 contiguous index range is split into contiguous,
+//                 B_1-boundary-respecting segments, one per core under the
+//                 shadow of the current anchor (Section III-A).
+//   * SB       -- space-bound: a recursively forked task carries an upper
+//                 bound on the space it touches; the scheduler anchors it at
+//                 the smallest cache that fits it under the parent's shadow
+//                 (Section III-B).
+//   * CGC=>SB  -- m equal-space subtasks are spread evenly across the caches
+//                 of level t = max(i, j), where i is the smallest level whose
+//                 caches fit one subtask and j the smallest level with at
+//                 most m caches under the shadow (Section III-C).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace obliv::sched {
+
+enum class Hint : std::uint8_t {
+  kCgc,      ///< coarse-grained contiguous
+  kSb,       ///< space-bound
+  kCgcSb,    ///< CGC on SB
+};
+
+/// A space-bound-annotated task: the algorithm promises the body touches at
+/// most `space_words` words of distinct data (the S(n) lines in the paper's
+/// pseudocode, e.g. S(n) = 3n for MO-FFT).
+struct SbTask {
+  std::uint64_t space_words = 0;
+  std::function<void()> body;
+};
+
+}  // namespace obliv::sched

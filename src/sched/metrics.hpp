@@ -1,0 +1,30 @@
+// Work/span and cache metrics reported by the simulated executor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace obliv::sched {
+
+/// Parallel-time and cache-complexity measurements for one algorithm run.
+///
+/// `work` counts unit operations; `span` is the critical path under the
+/// schedule the executor produced.  `parallel_steps(p)` applies Brent's
+/// principle (T_p = W/p + S), which is exactly how the paper's theorems
+/// compose per-level running times.
+struct RunMetrics {
+  std::uint64_t work = 0;
+  std::uint64_t span = 0;
+  /// level_max_misses[i] is the max, over the q_{i+1} caches of level i+1,
+  /// of blocks read into that cache (the paper's per-level cache complexity).
+  std::vector<std::uint64_t> level_max_misses;
+  std::vector<std::uint64_t> level_total_misses;
+  std::uint64_t pingpong = 0;
+
+  double parallel_steps(std::uint32_t p) const {
+    return static_cast<double>(work) / p + static_cast<double>(span);
+  }
+};
+
+}  // namespace obliv::sched

@@ -1,0 +1,183 @@
+#include "sched/native_executor.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bits.hpp"
+
+namespace obliv::sched {
+
+struct ThreadPool::Group {
+  std::atomic<std::size_t> pending{0};
+};
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = 1;
+  // The calling thread participates, so spawn threads-1 workers.
+  for (unsigned i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    item.fn();
+    item.group->pending.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+bool ThreadPool::try_run_one() {
+  Item item;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    item = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  item.fn();
+  item.group->pending.fetch_sub(1, std::memory_order_acq_rel);
+  return true;
+}
+
+void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (tasks.size() == 1) {
+    tasks[0]();
+    return;
+  }
+  Group group;
+  group.pending.store(tasks.size() - 1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 1; i < tasks.size(); ++i) {
+      queue_.push_back(Item{std::move(tasks[i]), &group});
+    }
+  }
+  cv_.notify_all();
+  tasks[0]();  // run the first task inline
+  // Help-first waiting: execute pending items (possibly from unrelated
+  // groups -- they only shorten the wait) until our group drains.
+  while (group.pending.load(std::memory_order_acquire) != 0) {
+    if (!try_run_one()) std::this_thread::yield();
+  }
+}
+
+NativeExecutor::NativeExecutor(unsigned threads,
+                               std::uint64_t sequential_grain_words)
+    : pool_(threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                         : threads),
+      grain_(std::max<std::uint64_t>(1, sequential_grain_words)) {}
+
+void NativeExecutor::cgc_pfor(
+    std::uint64_t lo, std::uint64_t hi, std::uint64_t words_per_iter,
+    const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+  if (hi <= lo) return;
+  const std::uint64_t t = hi - lo;
+  const std::uint64_t wpi = std::max<std::uint64_t>(1, words_per_iter);
+  // Keep segments at or above the grain so fork overhead stays negligible --
+  // the native analogue of the B_1 lower bound on CGC segment length.
+  const std::uint64_t min_iters = std::max<std::uint64_t>(1, grain_ / wpi);
+  const std::uint64_t chunks = std::max<std::uint64_t>(
+      1, std::min<std::uint64_t>(pool_.threads(), util::ceil_div(t, min_iters)));
+  if (chunks == 1) {
+    body(lo, hi);
+    return;
+  }
+  const std::uint64_t base_len = util::ceil_div(t, chunks);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks);
+  for (std::uint64_t start = lo; start < hi; start += base_len) {
+    const std::uint64_t end = std::min(hi, start + base_len);
+    tasks.push_back([&body, start, end] { body(start, end); });
+  }
+  pool_.run_all(std::move(tasks));
+}
+
+void NativeExecutor::cgc_pfor_each(
+    std::uint64_t lo, std::uint64_t hi, std::uint64_t words_per_iter,
+    const std::function<void(std::uint64_t)>& body) {
+  cgc_pfor(lo, hi, words_per_iter, [&](std::uint64_t a, std::uint64_t b) {
+    for (std::uint64_t k = a; k < b; ++k) body(k);
+  });
+}
+
+void NativeExecutor::sb_parallel(std::vector<SbTask> tasks) {
+  if (tasks.empty()) return;
+  // Space bound as fork cut-off: small tasks are not worth forking.
+  bool all_small = true;
+  for (const auto& task : tasks) {
+    if (task.space_words > grain_) {
+      all_small = false;
+      break;
+    }
+  }
+  if (all_small || pool_.threads() == 1) {
+    for (auto& task : tasks) task.body();
+    return;
+  }
+  std::vector<std::function<void()>> fns;
+  fns.reserve(tasks.size());
+  for (auto& task : tasks) fns.push_back(std::move(task.body));
+  pool_.run_all(std::move(fns));
+}
+
+void NativeExecutor::sb_parallel2(std::uint64_t space1,
+                                  const std::function<void()>& f1,
+                                  std::uint64_t space2,
+                                  const std::function<void()>& f2) {
+  std::vector<SbTask> tasks;
+  tasks.push_back(SbTask{space1, f1});
+  tasks.push_back(SbTask{space2, f2});
+  sb_parallel(std::move(tasks));
+}
+
+void NativeExecutor::cgc_sb_pfor(
+    std::uint64_t count, std::uint64_t space_words,
+    const std::function<void(std::uint64_t)>& body) {
+  if (count == 0) return;
+  if (space_words <= grain_ || pool_.threads() == 1) {
+    // Batch subtasks per thread to keep fork overhead sublinear.
+    const std::uint64_t chunks =
+        std::min<std::uint64_t>(pool_.threads(), count);
+    const std::uint64_t per = util::ceil_div(count, chunks);
+    std::vector<std::function<void()>> tasks;
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      const std::uint64_t s_lo = c * per;
+      const std::uint64_t s_hi = std::min(count, (c + 1) * per);
+      if (s_lo >= s_hi) break;
+      tasks.push_back([&body, s_lo, s_hi] {
+        for (std::uint64_t s = s_lo; s < s_hi; ++s) body(s);
+      });
+    }
+    pool_.run_all(std::move(tasks));
+    return;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(count);
+  for (std::uint64_t s = 0; s < count; ++s) {
+    tasks.push_back([&body, s] { body(s); });
+  }
+  pool_.run_all(std::move(tasks));
+}
+
+}  // namespace obliv::sched

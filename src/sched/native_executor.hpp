@@ -1,0 +1,152 @@
+// NativeExecutor: runs MO algorithms with real threads on the host machine.
+//
+// The same algorithm templates that run on SimExecutor (for exact HM-model
+// metrics) run here for wall-clock measurements, demonstrating that the
+// hint-based schedule is executable on a real multicore.  The executor is
+// itself multicore-oblivious: it only uses the number of worker threads (a
+// run-time resource, not an algorithm parameter) and treats space-bound
+// hints as fork cut-offs -- a task whose space bound is below a
+// grain threshold runs sequentially, which is the native analogue of
+// anchoring at a private cache.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sched/hints.hpp"
+
+namespace obliv::sched {
+
+template <class T>
+class NatRef;
+template <class T>
+class NatBuf;
+
+/// A simple shared-queue fork-join pool.  Waiting threads help execute
+/// pending tasks, so nested parallelism cannot deadlock.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned threads() const { return workers_.size() + 1; }
+
+  /// Runs all `tasks`, potentially in parallel; returns when all complete.
+  void run_all(std::vector<std::function<void()>> tasks);
+
+ private:
+  struct Group;
+  struct Item {
+    std::function<void()> fn;
+    Group* group;
+  };
+
+  void worker_loop();
+  bool try_run_one();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Item> queue_;
+  bool stop_ = false;
+};
+
+class NativeExecutor {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency().
+  explicit NativeExecutor(unsigned threads = 0,
+                          std::uint64_t sequential_grain_words = 1 << 12);
+
+  unsigned threads() const { return pool_.threads(); }
+
+  template <class T>
+  NatBuf<T> make_buf(std::size_t n);
+
+  // Same interface as SimExecutor so algorithms are written once. ----------
+
+  void cgc_pfor(std::uint64_t lo, std::uint64_t hi,
+                std::uint64_t words_per_iter,
+                const std::function<void(std::uint64_t, std::uint64_t)>& body);
+
+  void cgc_pfor_each(std::uint64_t lo, std::uint64_t hi,
+                     std::uint64_t words_per_iter,
+                     const std::function<void(std::uint64_t)>& body);
+
+  void sb_parallel(std::vector<SbTask> tasks);
+
+  void sb_parallel2(std::uint64_t space1, const std::function<void()>& f1,
+                    std::uint64_t space2, const std::function<void()>& f2);
+
+  void sb_seq(std::uint64_t space_words, const std::function<void()>& body) {
+    body();
+  }
+
+  void cgc_sb_pfor(std::uint64_t count, std::uint64_t space_words,
+                   const std::function<void(std::uint64_t)>& body);
+
+  void tick(std::uint64_t) {}
+
+ private:
+  ThreadPool pool_;
+  std::uint64_t grain_;
+};
+
+/// Un-instrumented counterpart of SimRef: load/store compile to plain
+/// element access.
+template <class T>
+class NatRef {
+ public:
+  using value_type = T;
+
+  NatRef() = default;
+  NatRef(T* data, std::size_t n) : data_(data), n_(n) {}
+
+  T load(std::size_t i) const { return data_[i]; }
+  void store(std::size_t i, const T& v) const { data_[i] = v; }
+  template <class F>
+  void update(std::size_t i, F&& f) const {
+    f(data_[i]);
+  }
+
+  NatRef slice(std::size_t off, std::size_t len) const {
+    return NatRef(data_ + off, len);
+  }
+
+  std::size_t size() const { return n_; }
+  T* raw() const { return data_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t n_ = 0;
+};
+
+template <class T>
+class NatBuf {
+ public:
+  NatBuf() = default;
+  explicit NatBuf(std::size_t n) : v_(n) {}
+
+  NatRef<T> ref() { return NatRef<T>(v_.data(), v_.size()); }
+  std::size_t size() const { return v_.size(); }
+  std::vector<T>& raw() { return v_; }
+  const std::vector<T>& raw() const { return v_; }
+
+ private:
+  std::vector<T> v_;
+};
+
+template <class T>
+NatBuf<T> NativeExecutor::make_buf(std::size_t n) {
+  return NatBuf<T>(n);
+}
+
+}  // namespace obliv::sched

@@ -1,0 +1,290 @@
+#include "sched/sim_executor.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/bits.hpp"
+
+namespace obliv::sched {
+
+SimExecutor::SimExecutor(hm::MachineConfig cfg, SimPolicy policy)
+    : cfg_(std::move(cfg)), policy_(policy), cache_(cfg_) {
+  ctx_ = Ctx{cfg_.h(), 0, 0};
+  cache_load_.resize(cfg_.cache_levels());
+  for (std::uint32_t lvl = 1; lvl <= cfg_.cache_levels(); ++lvl) {
+    cache_load_[lvl - 1].assign(cfg_.caches_at(lvl), 0);
+  }
+}
+
+std::uint32_t SimExecutor::cores_under_ctx() const {
+  if (ctx_.anchor_level > cfg_.cache_levels()) return cfg_.cores();
+  return cfg_.cores_under(ctx_.anchor_level);
+}
+
+std::uint32_t SimExecutor::first_core_under_ctx() const {
+  if (ctx_.anchor_level > cfg_.cache_levels()) return 0;
+  return cfg_.first_core_under(ctx_.anchor_idx, ctx_.anchor_level);
+}
+
+std::pair<std::uint32_t, std::uint32_t> SimExecutor::caches_under_ctx(
+    std::uint32_t t) const {
+  if (ctx_.anchor_level > cfg_.cache_levels()) {
+    return {cfg_.caches_at(t), 0};
+  }
+  assert(t <= ctx_.anchor_level);
+  const std::uint32_t per =
+      cfg_.cores_under(ctx_.anchor_level) / cfg_.cores_under(t);
+  return {per, ctx_.anchor_idx * per};
+}
+
+std::uint64_t SimExecutor::capacity_of(std::uint32_t level) const {
+  if (level > cfg_.cache_levels()) return ~0ull;
+  return cfg_.capacity(level);
+}
+
+void SimExecutor::access(std::uint64_t addr, std::uint32_t words, bool write) {
+  cache_.access(ctx_.core, addr, words, write);
+  tick(words);
+}
+
+RunMetrics SimExecutor::run(std::uint64_t space_words,
+                            const std::function<void()>& body) {
+  cache_.clear();
+  work_ = 0;
+  span_ = 0;
+  rr_counter_ = 0;
+  for (auto& row : cache_load_) std::fill(row.begin(), row.end(), 0);
+  const std::uint32_t lvl = cfg_.smallest_level_fitting(space_words);
+  ctx_ = Ctx{lvl, 0, 0};
+  body();
+  ctx_ = Ctx{cfg_.h(), 0, 0};
+  return metrics();
+}
+
+RunMetrics SimExecutor::metrics() const {
+  RunMetrics m;
+  m.work = work_;
+  m.span = span_;
+  for (std::uint32_t lvl = 1; lvl <= cfg_.cache_levels(); ++lvl) {
+    m.level_max_misses.push_back(cache_.level_max_misses(lvl));
+    m.level_total_misses.push_back(cache_.level_total_misses(lvl));
+  }
+  m.pingpong = cache_.pingpong_events();
+  return m;
+}
+
+std::uint64_t SimExecutor::run_child(std::uint32_t level, std::uint32_t idx,
+                                     const std::function<void()>& fn,
+                                     std::uint64_t span_base) {
+  const Ctx saved = ctx_;
+  const std::uint64_t saved_span = span_;
+  span_ = span_base;
+  std::uint32_t core = 0;
+  if (level <= cfg_.cache_levels()) {
+    core = cfg_.first_core_under(idx, level);
+  }
+  ctx_ = Ctx{level, idx, core};
+  fn();
+  const std::uint64_t end = span_;
+  ctx_ = saved;
+  span_ = saved_span;
+  return end;
+}
+
+void SimExecutor::cgc_pfor(
+    std::uint64_t lo, std::uint64_t hi, std::uint64_t words_per_iter,
+    const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+  if (hi <= lo) return;
+  const std::uint64_t t = hi - lo;
+  const std::uint32_t P = cores_under_ctx();
+  const std::uint32_t first_core = first_core_under_ctx();
+  const std::uint64_t wpi = std::max<std::uint64_t>(1, words_per_iter);
+
+  std::uint64_t base_len;
+  if (policy_.respect_block_boundaries) {
+    // Each segment must scan at least B_1 words even if cores idle, and
+    // segment boundaries land on B_1 block boundaries (Section III-A).
+    const std::uint64_t iters_per_block =
+        std::max<std::uint64_t>(1, util::ceil_div(cfg_.block(1), wpi));
+    const std::uint64_t chunks =
+        std::max<std::uint64_t>(1,
+                                std::min<std::uint64_t>(
+                                    P, util::ceil_div(t, iters_per_block)));
+    base_len = util::ceil_div(util::ceil_div(t, chunks), iters_per_block) *
+               iters_per_block;
+  } else {
+    const std::uint64_t chunks = std::min<std::uint64_t>(P, t);
+    base_len = util::ceil_div(t, chunks);
+  }
+
+  const std::uint64_t span_base = span_;
+  std::uint64_t max_end = span_base;
+  std::uint32_t j = 0;
+  for (std::uint64_t start = lo; start < hi; start += base_len, ++j) {
+    const std::uint64_t end_i = std::min(hi, start + base_len);
+    const std::uint32_t core = first_core + (j % P);
+    // Each segment is anchored at the L1 cache of its core.
+    const std::uint64_t end =
+        run_child(1, core, [&] { body(start, end_i); }, span_base);
+    max_end = std::max(max_end, end);
+  }
+  span_ = max_end;
+}
+
+void SimExecutor::cgc_pfor_each(
+    std::uint64_t lo, std::uint64_t hi, std::uint64_t words_per_iter,
+    const std::function<void(std::uint64_t)>& body) {
+  cgc_pfor(lo, hi, words_per_iter,
+           [&](std::uint64_t a, std::uint64_t b) {
+             for (std::uint64_t k = a; k < b; ++k) body(k);
+           });
+}
+
+void SimExecutor::sb_parallel(std::vector<SbTask> tasks) {
+  if (tasks.empty()) return;
+  const std::uint32_t parent_level = ctx_.anchor_level;
+  const std::uint64_t span_base = span_;
+  std::uint64_t max_end = span_base;
+  // Per-assigned-cache running end time: tasks mapped to the same cache
+  // queue behind each other (the Q(lambda) of Section III-B).
+  std::unordered_map<std::uint64_t, std::uint64_t> ends;
+
+  for (SbTask& task : tasks) {
+    std::uint32_t lvl, idx;
+    if (policy_.slice_mode) {
+      // Baseline: ignore space bounds, round-robin tasks over cores.
+      const std::uint32_t P = cores_under_ctx();
+      lvl = 1;
+      idx = first_core_under_ctx() + (rr_counter_++ % P);
+    } else {
+      const std::uint32_t fit = cfg_.smallest_level_fitting(task.space_words);
+      if (parent_level >= 2 && fit <= parent_level - 1 &&
+          fit <= cfg_.cache_levels()) {
+        // Least-loaded cache at the smallest fitting level under the shadow.
+        auto [count, first] = caches_under_ctx(fit);
+        std::uint32_t best = first;
+        for (std::uint32_t c = first; c < first + count; ++c) {
+          if (cache_load_[fit - 1][c] < cache_load_[fit - 1][best]) best = c;
+        }
+        lvl = fit;
+        idx = best;
+      } else {
+        // Too big for any cache strictly below the anchor: queue at the
+        // anchor itself.
+        lvl = parent_level;
+        idx = ctx_.anchor_idx;
+      }
+    }
+    const std::uint64_t key = (static_cast<std::uint64_t>(lvl) << 32) | idx;
+    auto it = ends.find(key);
+    const std::uint64_t start = (it == ends.end()) ? span_base : it->second;
+    const std::uint64_t w0 = work_;
+    const std::uint64_t end = run_child(lvl, idx, task.body, start);
+    if (lvl <= cfg_.cache_levels()) {
+      cache_load_[lvl - 1][idx] += work_ - w0;
+    }
+    ends[key] = end;
+    max_end = std::max(max_end, end);
+  }
+  span_ = max_end;
+}
+
+void SimExecutor::sb_parallel2(std::uint64_t space1,
+                               const std::function<void()>& f1,
+                               std::uint64_t space2,
+                               const std::function<void()>& f2) {
+  std::vector<SbTask> tasks;
+  tasks.push_back(SbTask{space1, f1});
+  tasks.push_back(SbTask{space2, f2});
+  sb_parallel(std::move(tasks));
+}
+
+void SimExecutor::sb_seq(std::uint64_t space_words,
+                         const std::function<void()>& body) {
+  std::uint32_t lvl, idx;
+  const std::uint32_t parent_level = ctx_.anchor_level;
+  const std::uint32_t fit = cfg_.smallest_level_fitting(space_words);
+  if (!policy_.slice_mode && parent_level >= 2 && fit <= parent_level - 1 &&
+      fit <= cfg_.cache_levels()) {
+    auto [count, first] = caches_under_ctx(fit);
+    std::uint32_t best = first;
+    for (std::uint32_t c = first; c < first + count; ++c) {
+      if (cache_load_[fit - 1][c] < cache_load_[fit - 1][best]) best = c;
+    }
+    lvl = fit;
+    idx = best;
+  } else {
+    lvl = parent_level;
+    idx = ctx_.anchor_idx;
+  }
+  const std::uint64_t w0 = work_;
+  const std::uint64_t end = run_child(lvl, idx, body, span_);
+  if (lvl <= cfg_.cache_levels()) cache_load_[lvl - 1][idx] += work_ - w0;
+  span_ = end;
+}
+
+void SimExecutor::cgc_sb_pfor(
+    std::uint64_t count, std::uint64_t space_words,
+    const std::function<void(std::uint64_t)>& body) {
+  if (count == 0) return;
+  const std::uint32_t k = ctx_.anchor_level;
+
+  if (policy_.slice_mode) {
+    // Baseline: contiguous distribution over cores, ignoring space bounds.
+    const std::uint32_t P = cores_under_ctx();
+    const std::uint32_t first_core = first_core_under_ctx();
+    const std::uint64_t per = util::ceil_div(count, P);
+    const std::uint64_t span_base = span_;
+    std::uint64_t max_end = span_base;
+    for (std::uint32_t c = 0; c < P; ++c) {
+      std::uint64_t local = span_base;
+      for (std::uint64_t s = c * per; s < std::min(count, (c + 1) * per);
+           ++s) {
+        local = run_child(1, first_core + c, [&] { body(s); }, local);
+      }
+      max_end = std::max(max_end, local);
+    }
+    span_ = max_end;
+    return;
+  }
+
+  // i: smallest level whose caches fit one subtask.
+  const std::uint32_t i_fit = cfg_.smallest_level_fitting(space_words);
+  // j: smallest level with at most `count` caches under the shadow.
+  std::uint32_t j = 1;
+  const std::uint32_t j_cap = std::min<std::uint32_t>(k, cfg_.cache_levels());
+  while (j < j_cap && caches_under_ctx(j).first > count) ++j;
+
+  // Section III-C: t = max(i, j).  The fit-only ablation drops the j term.
+  std::uint32_t t = policy_.cgcsb_fit_only ? i_fit : std::max(i_fit, j);
+  std::uint32_t q, first;
+  if (t >= k || t > cfg_.cache_levels()) {
+    // Subtasks as large as (or larger than) the anchor: they queue at the
+    // anchor itself and serialize.
+    t = k;
+    q = 1;
+    first = ctx_.anchor_idx;
+  } else {
+    std::tie(q, first) = caches_under_ctx(t);
+  }
+
+  const std::uint64_t per = util::ceil_div(count, q);
+  const std::uint64_t span_base = span_;
+  std::uint64_t max_end = span_base;
+  for (std::uint32_t c = 0; c < q; ++c) {
+    std::uint64_t local = span_base;
+    const std::uint64_t s_lo = c * per;
+    const std::uint64_t s_hi = std::min<std::uint64_t>(count, (c + 1) * per);
+    for (std::uint64_t s = s_lo; s < s_hi; ++s) {
+      const std::uint64_t w0 = work_;
+      local = run_child(t, first + c, [&] { body(s); }, local);
+      if (t <= cfg_.cache_levels()) {
+        cache_load_[t - 1][first + c] += work_ - w0;
+      }
+    }
+    max_end = std::max(max_end, local);
+  }
+  span_ = max_end;
+}
+
+}  // namespace obliv::sched

@@ -1,0 +1,264 @@
+// SimExecutor: the deterministic HM-model executor.
+//
+// This is the reference implementation of the paper's run-time scheduler.
+// It executes an MO algorithm cooperatively on the calling thread while
+// simulating:
+//   * which core executes each piece of work (per the CGC / SB / CGC=>SB
+//     anchoring rules of Section III),
+//   * the resulting per-level cache misses (through hm::CacheSim), and
+//   * work and span (critical path) of the schedule, from which parallel
+//     steps on p cores follow by Brent's principle.
+//
+// Determinism is what makes the theorems checkable: two runs of the same
+// algorithm on the same machine produce identical miss counts.
+//
+// Approximation note (documented in DESIGN.md): parallel siblings are
+// *executed* sequentially in depth-first order while being *accounted* in
+// parallel.  Under SB anchoring each task's working set fits its anchor
+// cache, so its level-i misses are its compulsory input/output transfers,
+// which DFS order reproduces; interleaving effects appear only below the
+// anchor level and do not change the asymptotic shapes the benches verify.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hm/cache_sim.hpp"
+#include "hm/config.hpp"
+#include "sched/hints.hpp"
+#include "sched/metrics.hpp"
+
+namespace obliv::sched {
+
+template <class T>
+class SimRef;
+template <class T>
+class SimBuf;
+
+/// Scheduling-policy knobs, used by the ablation benches.
+struct SimPolicy {
+  /// When true (paper behaviour), CGC chunk boundaries are rounded to B_1
+  /// block boundaries to avoid ping-ponging.
+  bool respect_block_boundaries = true;
+  /// When true, SB / CGC=>SB anchoring is replaced by the "proportionate
+  /// slice" strategy the paper argues against in Section II: every task is
+  /// assigned round-robin to an L1 cache (i.e. a core), so higher-level
+  /// caches are shared only incidentally.
+  bool slice_mode = false;
+  /// When true, CGC=>SB anchors subtasks at the smallest *fitting* level
+  /// only (t = i), ignoring the parallelism term j of Section III-C's
+  /// t = max(i, j) rule.  With few subtasks this strands the cores below
+  /// unused anchor caches (ablated in bench_sched_ablation).
+  bool cgcsb_fit_only = false;
+};
+
+class SimExecutor {
+ public:
+  explicit SimExecutor(hm::MachineConfig cfg, SimPolicy policy = {});
+
+  const hm::MachineConfig& config() const { return cfg_; }
+  hm::CacheSim& cache_sim() { return cache_; }
+
+  // ---- Storage -----------------------------------------------------------
+
+  /// Allocates an instrumented buffer of `n` elements in the simulated
+  /// address space (aligned to the largest block size).
+  template <class T>
+  SimBuf<T> make_buf(std::size_t n);
+
+  /// Words (8-byte units) occupied by one T in the simulated address space.
+  template <class T>
+  static constexpr std::uint64_t words_per() {
+    return (sizeof(T) + 7) / 8;
+  }
+
+  // ---- Raw accounting hooks (called by SimRef) ----------------------------
+
+  /// Records a memory access of `words` words at simulated address `addr`
+  /// by the current core and charges one unit of work/span per word.
+  void access(std::uint64_t addr, std::uint32_t words, bool write);
+
+  /// Charges `n` units of pure computation (no memory traffic).
+  void tick(std::uint64_t n) {
+    work_ += n;
+    span_ += n;
+  }
+
+  // ---- Root entry ---------------------------------------------------------
+
+  /// Runs `body` as the root task with the given space bound, anchored at
+  /// the smallest cache level that fits it (or at the memory level), and
+  /// returns the metrics of the run.  Resets counters first.
+  RunMetrics run(std::uint64_t space_words, const std::function<void()>& body);
+
+  /// Metrics of the last completed run().
+  RunMetrics metrics() const;
+
+  // ---- CGC (Section III-A) -------------------------------------------------
+
+  /// Parallel for over [lo, hi) under the CGC hint.  `words_per_iter` is the
+  /// number of contiguous words one iteration scans (used to round segment
+  /// boundaries to B_1 blocks); `body(a, b)` processes iterations [a, b).
+  void cgc_pfor(std::uint64_t lo, std::uint64_t hi,
+                std::uint64_t words_per_iter,
+                const std::function<void(std::uint64_t, std::uint64_t)>& body);
+
+  /// Convenience: per-index body.
+  void cgc_pfor_each(std::uint64_t lo, std::uint64_t hi,
+                     std::uint64_t words_per_iter,
+                     const std::function<void(std::uint64_t)>& body);
+
+  // ---- SB (Section III-B) ---------------------------------------------------
+
+  /// Forks `tasks` in parallel under the SB hint.  Each task is anchored at
+  /// the least-loaded cache at the smallest level that fits its space bound
+  /// under the current shadow; tasks whose bound exceeds C_{i-1} queue at the
+  /// current anchor itself and serialize.
+  void sb_parallel(std::vector<SbTask> tasks);
+
+  /// Two-task convenience (the typical binary fork of I-GEP / SpM-DV).
+  void sb_parallel2(std::uint64_t space1, const std::function<void()>& f1,
+                    std::uint64_t space2, const std::function<void()>& f2);
+
+  /// Runs a single task sequentially but re-anchored per its space bound
+  /// (used for the serial recursive calls of I-GEP's function A).
+  void sb_seq(std::uint64_t space_words, const std::function<void()>& body);
+
+  // ---- CGC=>SB (Section III-C) ----------------------------------------------
+
+  /// `count` equal-space subtasks, each touching `space_words` words;
+  /// distributed evenly across the level-t caches under the current shadow,
+  /// t = max(i, j) per Section III-C.  `body(k)` runs subtask k.
+  void cgc_sb_pfor(std::uint64_t count, std::uint64_t space_words,
+                   const std::function<void(std::uint64_t)>& body);
+
+  // ---- Introspection (used by tests) ---------------------------------------
+
+  std::uint32_t current_core() const { return ctx_.core; }
+  std::uint32_t current_anchor_level() const { return ctx_.anchor_level; }
+  std::uint32_t current_anchor_index() const { return ctx_.anchor_idx; }
+  std::uint64_t work() const { return work_; }
+  std::uint64_t span() const { return span_; }
+
+ private:
+  struct Ctx {
+    std::uint32_t anchor_level;  ///< 1..h; h == memory (whole machine)
+    std::uint32_t anchor_idx;    ///< cache index at anchor_level (0 if memory)
+    std::uint32_t core;          ///< core executing sequential code
+  };
+
+  std::uint32_t cores_under_ctx() const;
+  std::uint32_t first_core_under_ctx() const;
+  /// Number of level-`t` caches under the current anchor's shadow and the
+  /// index of the first one.
+  std::pair<std::uint32_t, std::uint32_t> caches_under_ctx(
+      std::uint32_t t) const;
+  /// Capacity of a level (memory level == +inf).
+  std::uint64_t capacity_of(std::uint32_t level) const;
+
+  /// Runs `fn` with context switched to (level, idx) and its first core.
+  /// Returns the span consumed by fn (work accumulates globally).
+  std::uint64_t run_child(std::uint32_t level, std::uint32_t idx,
+                          const std::function<void()>& fn,
+                          std::uint64_t span_base);
+
+  hm::MachineConfig cfg_;
+  SimPolicy policy_;
+  hm::CacheSim cache_;
+  Ctx ctx_;
+  std::uint64_t work_ = 0;
+  std::uint64_t span_ = 0;
+  std::uint64_t addr_top_ = 0;
+  std::uint32_t rr_counter_ = 0;  // round-robin cursor for slice mode
+  // cache_load_[level-1][idx]: accumulated work anchored at that cache,
+  // used for the SB "least loaded" rule.
+  std::vector<std::vector<std::uint64_t>> cache_load_;
+};
+
+/// Non-owning instrumented view of `n` elements of T.
+///
+/// All element access is explicit (`load` / `store`) so that both the
+/// simulated and the native backends present the same interface to
+/// algorithm templates.
+template <class T>
+class SimRef {
+ public:
+  using value_type = T;
+
+  SimRef() = default;
+  SimRef(SimExecutor* ex, T* data, std::uint64_t addr, std::size_t n)
+      : ex_(ex), data_(data), addr_(addr), n_(n) {}
+
+  T load(std::size_t i) const {
+    assert(i < n_);
+    ex_->access(addr_ + i * W, W, /*write=*/false);
+    return data_[i];
+  }
+
+  void store(std::size_t i, const T& v) const {
+    assert(i < n_);
+    ex_->access(addr_ + i * W, W, /*write=*/true);
+    data_[i] = v;
+  }
+
+  /// Read-modify-write without double-charging the address computation.
+  template <class F>
+  void update(std::size_t i, F&& f) const {
+    assert(i < n_);
+    ex_->access(addr_ + i * W, W, /*write=*/true);
+    f(data_[i]);
+  }
+
+  SimRef slice(std::size_t off, std::size_t len) const {
+    assert(off + len <= n_);
+    return SimRef(ex_, data_ + off, addr_ + off * W, len);
+  }
+
+  std::size_t size() const { return n_; }
+  std::uint64_t addr() const { return addr_; }
+  /// Raw (un-instrumented) pointer, for test assertions only.
+  T* raw() const { return data_; }
+
+ private:
+  static constexpr std::uint64_t W = (sizeof(T) + 7) / 8;
+  SimExecutor* ex_ = nullptr;
+  T* data_ = nullptr;
+  std::uint64_t addr_ = 0;
+  std::size_t n_ = 0;
+};
+
+/// Owning instrumented buffer.
+template <class T>
+class SimBuf {
+ public:
+  SimBuf() = default;
+  SimBuf(SimExecutor* ex, std::uint64_t addr, std::size_t n)
+      : ex_(ex), addr_(addr), v_(n) {}
+
+  SimRef<T> ref() { return SimRef<T>(ex_, v_.data(), addr_, v_.size()); }
+  std::size_t size() const { return v_.size(); }
+  /// Raw storage, for initialization/checking outside the measured region.
+  std::vector<T>& raw() { return v_; }
+  const std::vector<T>& raw() const { return v_; }
+  std::uint64_t addr() const { return addr_; }
+
+ private:
+  SimExecutor* ex_ = nullptr;
+  std::uint64_t addr_ = 0;
+  std::vector<T> v_;
+};
+
+template <class T>
+SimBuf<T> SimExecutor::make_buf(std::size_t n) {
+  const std::uint64_t align =
+      cfg_.block(cfg_.cache_levels());  // largest block size
+  addr_top_ = (addr_top_ + align - 1) / align * align;
+  const std::uint64_t addr = addr_top_;
+  addr_top_ += n * words_per<T>();
+  return SimBuf<T>(this, addr, n);
+}
+
+}  // namespace obliv::sched

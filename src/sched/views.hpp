@@ -1,0 +1,84 @@
+// Backend-agnostic matrix view over any vector-ref type (SimRef / NatRef).
+//
+// Recursive algorithms (I-GEP, MO-FFT) operate on submatrices of a row-major
+// array; MatView carries the origin, leading dimension, and extent so that
+// quadrant decomposition is O(1) and all element traffic flows through the
+// underlying ref's instrumented load/store.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+namespace obliv::sched {
+
+template <class Ref>
+class MatView {
+ public:
+  using value_type = typename Ref::value_type;
+
+  MatView() = default;
+
+  /// Views `rows` x `cols` elements of row-major `data` with leading
+  /// dimension `ld`, starting at element (r0, c0).
+  MatView(Ref data, std::size_t ld, std::size_t r0, std::size_t c0,
+          std::size_t rows, std::size_t cols)
+      : data_(data), ld_(ld), r0_(r0), c0_(c0), rows_(rows), cols_(cols) {
+    assert((r0 + rows == 0 || (r0 + rows - 1) * ld + (c0 + cols) <=
+                                  data.size() + c0) &&
+           "view exceeds storage");
+  }
+
+  /// Whole-matrix convenience: n x n over an n*n ref.
+  static MatView full(Ref data, std::size_t rows, std::size_t cols) {
+    return MatView(data, cols, 0, 0, rows, cols);
+  }
+
+  value_type load(std::size_t i, std::size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return data_.load((r0_ + i) * ld_ + (c0_ + j));
+  }
+
+  void store(std::size_t i, std::size_t j, const value_type& v) const {
+    assert(i < rows_ && j < cols_);
+    data_.store((r0_ + i) * ld_ + (c0_ + j), v);
+  }
+
+  /// Submatrix rooted at (i, j) of extent rr x cc.
+  MatView sub(std::size_t i, std::size_t j, std::size_t rr,
+              std::size_t cc) const {
+    assert(i + rr <= rows_ && j + cc <= cols_);
+    return MatView(data_, ld_, r0_ + i, c0_ + j, rr, cc);
+  }
+
+  /// Quadrant (qi, qj) of an even-sized view; qi, qj in {0, 1}.
+  /// quad(0,0)=X11, quad(0,1)=X12, quad(1,0)=X21, quad(1,1)=X22 in the
+  /// paper's notation.
+  MatView quad(int qi, int qj) const {
+    const std::size_t hr = rows_ / 2, hc = cols_ / 2;
+    return sub(qi ? hr : 0, qj ? hc : 0, hr, hc);
+  }
+
+  /// One row as a 1-D ref-like slice (valid because storage is row-major).
+  Ref row(std::size_t i) const {
+    assert(i < rows_);
+    return data_.slice((r0_ + i) * ld_ + c0_, cols_);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t ld() const { return ld_; }
+
+  /// True iff this view aliases exactly the same region as `o`.
+  bool same_region(const MatView& o) const {
+    return r0_ == o.r0_ && c0_ == o.c0_ && rows_ == o.rows_ &&
+           cols_ == o.cols_ && ld_ == o.ld_;
+  }
+
+ private:
+  Ref data_;
+  std::size_t ld_ = 0;
+  std::size_t r0_ = 0, c0_ = 0;
+  std::size_t rows_ = 0, cols_ = 0;
+};
+
+}  // namespace obliv::sched

@@ -1,0 +1,112 @@
+#include "util/perf_counters.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace obliv::util {
+
+#if defined(__linux__)
+
+namespace {
+
+int open_event(PerfEvent ev) {
+  perf_event_attr attr{};
+  attr.size = sizeof(attr);
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.inherit = 1;  // count child threads (the NativeExecutor pool)
+  switch (ev) {
+    case PerfEvent::kCacheMisses:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_CACHE_MISSES;
+      break;
+    case PerfEvent::kCacheReferences:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_CACHE_REFERENCES;
+      break;
+    case PerfEvent::kL1DReadMisses:
+      attr.type = PERF_TYPE_HW_CACHE;
+      attr.config = PERF_COUNT_HW_CACHE_L1D |
+                    (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                    (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+      break;
+    case PerfEvent::kInstructions:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_INSTRUCTIONS;
+      break;
+  }
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+}  // namespace
+
+PerfCounterGroup::PerfCounterGroup(std::vector<PerfEvent> events) {
+  available_ = true;
+  for (PerfEvent ev : events) {
+    const int fd = open_event(ev);
+    if (fd < 0) {
+      available_ = false;
+      error_ = std::string("perf_event_open failed: ") + std::strerror(errno);
+      break;
+    }
+    fds_.push_back(fd);
+  }
+  if (!available_) {
+    for (int fd : fds_) close(fd);
+    fds_.clear();
+  }
+  values_.assign(events.size(), 0);
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (int fd : fds_) close(fd);
+}
+
+void PerfCounterGroup::start() {
+  for (int fd : fds_) {
+    ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+void PerfCounterGroup::stop() {
+  for (std::size_t i = 0; i < fds_.size(); ++i) {
+    ioctl(fds_[i], PERF_EVENT_IOC_DISABLE, 0);
+    std::uint64_t v = 0;
+    if (read(fds_[i], &v, sizeof(v)) == sizeof(v)) values_[i] = v;
+  }
+}
+
+std::optional<std::uint64_t> PerfCounterGroup::value(std::size_t idx) const {
+  if (!available_ || idx >= values_.size()) return std::nullopt;
+  return values_[idx];
+}
+
+#else  // !__linux__
+
+PerfCounterGroup::PerfCounterGroup(std::vector<PerfEvent> events) {
+  available_ = false;
+  error_ = "perf counters require Linux";
+  values_.assign(events.size(), 0);
+}
+
+PerfCounterGroup::~PerfCounterGroup() = default;
+void PerfCounterGroup::start() {}
+void PerfCounterGroup::stop() {}
+
+std::optional<std::uint64_t> PerfCounterGroup::value(std::size_t) const {
+  return std::nullopt;
+}
+
+#endif
+
+}  // namespace obliv::util

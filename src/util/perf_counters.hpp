@@ -1,0 +1,59 @@
+// Hardware performance counters for native-executor runs (Linux
+// perf_event).  The HM simulator gives exact model misses; this gives the
+// *real* machine's cache-miss counts for the same algorithm, closing the
+// loop between the model and a laptop multicore.
+//
+// perf_event access is frequently restricted (containers, hardened
+// kernels): everything here degrades gracefully -- `available()` reports
+// false and readings come back as nullopt -- so tests and benches never
+// fail merely because counters are locked down.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace obliv::util {
+
+/// Counter kinds we know how to program.
+enum class PerfEvent : std::uint8_t {
+  kCacheMisses,      // PERF_COUNT_HW_CACHE_MISSES (LLC misses)
+  kCacheReferences,  // PERF_COUNT_HW_CACHE_REFERENCES
+  kL1DReadMisses,    // L1-dcache read misses
+  kInstructions,     // retired instructions
+};
+
+/// A group of hardware counters measured over a code region.
+///
+///   PerfCounterGroup g({PerfEvent::kCacheMisses});
+///   if (g.available()) { g.start(); work(); g.stop(); g.value(0); }
+class PerfCounterGroup {
+ public:
+  explicit PerfCounterGroup(std::vector<PerfEvent> events);
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  /// True iff every requested counter opened successfully.
+  bool available() const { return available_; }
+
+  /// Why counters are unavailable (empty when available).
+  const std::string& error() const { return error_; }
+
+  void start();
+  void stop();
+
+  /// Reading of the idx-th requested event for the last start/stop window;
+  /// nullopt when unavailable.
+  std::optional<std::uint64_t> value(std::size_t idx) const;
+
+ private:
+  std::vector<int> fds_;
+  std::vector<std::uint64_t> values_;
+  bool available_ = false;
+  std::string error_;
+};
+
+}  // namespace obliv::util

@@ -1,0 +1,71 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace obliv::util {
+
+double loglog_slope(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  std::size_t n = 0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] <= 0 || y[i] <= 0) continue;
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (static_cast<double>(n) * sxy - sx * sy) / denom;
+}
+
+double geomean_ratio(std::span<const double> y, std::span<const double> model) {
+  assert(y.size() == model.size());
+  double acc = 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] <= 0 || model[i] <= 0) continue;
+    acc += std::log(y[i] / model[i]);
+    ++n;
+  }
+  return n == 0 ? 0.0 : std::exp(acc / static_cast<double>(n));
+}
+
+double ratio_spread(std::span<const double> y, std::span<const double> model) {
+  assert(y.size() == model.size());
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] <= 0 || model[i] <= 0) continue;
+    const double r = y[i] / model[i];
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  if (hi == 0) return 0.0;
+  return hi / lo;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  double total = 0;
+  for (double v : xs) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    total += v;
+  }
+  s.count = xs.size();
+  s.mean = total / static_cast<double>(xs.size());
+  return s;
+}
+
+}  // namespace obliv::util

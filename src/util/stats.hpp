@@ -1,0 +1,32 @@
+// Small statistics helpers used by the benchmark harness to compare measured
+// complexity curves against the closed-form bounds stated in the paper.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace obliv::util {
+
+/// Least-squares fit of y = a * x^slope over positive samples, computed in
+/// log-log space.  Returns the slope; this is how benches check that, e.g.,
+/// measured GEP cache misses grow like n^3 (slope ~ 3 in an n-sweep).
+double loglog_slope(std::span<const double> x, std::span<const double> y);
+
+/// Geometric mean of the point-wise ratios y[i] / model[i].  A bound "holds
+/// in shape" when this is O(1) across the sweep and the ratio spread is small.
+double geomean_ratio(std::span<const double> y, std::span<const double> model);
+
+/// max(ratio) / min(ratio) over the sweep: flatness of measured/model.
+double ratio_spread(std::span<const double> y, std::span<const double> model);
+
+/// Simple running summary (min / max / mean) of a sample stream.
+struct Summary {
+  double min = 0, max = 0, mean = 0;
+  std::size_t count = 0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+}  // namespace obliv::util

@@ -1,0 +1,36 @@
+// Fixed-width text table printer used by the benchmark harness to emit the
+// rows/series corresponding to the paper's Table I, Table II and theorem
+// validation sweeps in a uniform, diff-friendly format.
+#pragma once
+
+#include <cstdio>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace obliv::util {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; the number of cells must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each value with snprintf-style conversions.
+  static std::string fmt(double v, const char* spec = "%.3g");
+  static std::string fmt(std::uint64_t v);
+  static std::string fmt(std::int64_t v);
+
+  /// Renders the table (header, rule, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace obliv::util

@@ -1,0 +1,81 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace obliv::util {
+namespace {
+
+TEST(Bits, SpreadCompactRoundTrip) {
+  for (std::uint64_t x : {0ull, 1ull, 2ull, 0xdeadbeefull, 0xffffffffull}) {
+    EXPECT_EQ(compact_bits(spread_bits(x)), x);
+  }
+}
+
+TEST(Bits, InterleaveSmallCases) {
+  // beta(i, j) with i major: bit k of i at position 2k+1, of j at 2k.
+  EXPECT_EQ(interleave_bits(0, 0), 0u);
+  EXPECT_EQ(interleave_bits(0, 1), 1u);
+  EXPECT_EQ(interleave_bits(1, 0), 2u);
+  EXPECT_EQ(interleave_bits(1, 1), 3u);
+  EXPECT_EQ(interleave_bits(2, 0), 8u);
+  EXPECT_EQ(interleave_bits(0, 2), 4u);
+}
+
+TEST(Bits, InterleaveRoundTripRandom) {
+  Xoshiro256 rng(42);
+  for (int t = 0; t < 1000; ++t) {
+    const std::uint64_t i = rng.below(1u << 30);
+    const std::uint64_t j = rng.below(1u << 30);
+    const auto [i2, j2] = deinterleave_bits(interleave_bits(i, j));
+    EXPECT_EQ(i2, i);
+    EXPECT_EQ(j2, j);
+  }
+}
+
+TEST(Bits, InterleaveIsBijectionOnGrid) {
+  // On an n x n grid the interleaved indices are a permutation of [0, n^2).
+  const std::uint64_t n = 32;
+  std::vector<bool> seen(n * n, false);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (std::uint64_t j = 0; j < n; ++j) {
+      const std::uint64_t z = interleave_bits(i, j);
+      ASSERT_LT(z, n * n);
+      EXPECT_FALSE(seen[z]);
+      seen[z] = true;
+    }
+  }
+}
+
+TEST(Bits, Log2Family) {
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(2), 1u);
+  EXPECT_EQ(ilog2(3), 1u);
+  EXPECT_EQ(ilog2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+  EXPECT_EQ(ceil_pow2(3), 4u);
+  EXPECT_EQ(ceil_pow2(4), 4u);
+  EXPECT_EQ(floor_pow2(5), 4u);
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+  EXPECT_EQ(ceil_div(1, 8), 1u);
+}
+
+TEST(Bits, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b001, 3), 0b100u);
+  EXPECT_EQ(reverse_bits(0b110, 3), 0b011u);
+  EXPECT_EQ(reverse_bits(1, 1), 1u);
+}
+
+}  // namespace
+}  // namespace obliv::util

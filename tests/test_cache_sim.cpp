@@ -1,0 +1,123 @@
+#include "hm/cache_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace obliv::hm {
+namespace {
+
+TEST(LruCache, HitAndMiss) {
+  LruCache c(2);
+  EXPECT_FALSE(c.touch(1));
+  EXPECT_TRUE(c.touch(1));
+  EXPECT_FALSE(c.touch(2));
+  EXPECT_TRUE(c.touch(2));
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache c(2);
+  c.touch(1);
+  c.touch(2);
+  c.touch(1);          // order now: 1 (MRU), 2 (LRU)
+  EXPECT_FALSE(c.touch(3));
+  EXPECT_EQ(c.last_evicted(), 2u);
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+}
+
+TEST(LruCache, EraseSupportsCoherence) {
+  LruCache c(4);
+  c.touch(7);
+  EXPECT_TRUE(c.erase(7));
+  EXPECT_FALSE(c.erase(7));
+  EXPECT_FALSE(c.contains(7));
+  EXPECT_FALSE(c.touch(7));  // miss again after invalidation
+}
+
+TEST(CacheSim, SequentialScanMissesMatchBlockCount) {
+  // Scanning n contiguous words misses exactly n / B_i times per level
+  // (cold caches, n a multiple of every block size).
+  const MachineConfig cfg = MachineConfig::sequential(1 << 14, 8);
+  CacheSim sim(cfg);
+  const std::uint64_t n = 4096;
+  for (std::uint64_t a = 0; a < n; ++a) sim.access(0, a, 1, false);
+  EXPECT_EQ(sim.level_total_misses(1), n / cfg.block(1));
+}
+
+TEST(CacheSim, RepeatScanOfFittingDataHits) {
+  const MachineConfig cfg = MachineConfig::sequential(1 << 14, 8);
+  CacheSim sim(cfg);
+  const std::uint64_t n = 1 << 12;  // fits in the cache
+  for (std::uint64_t a = 0; a < n; ++a) sim.access(0, a, 1, false);
+  const std::uint64_t cold = sim.level_total_misses(1);
+  for (std::uint64_t a = 0; a < n; ++a) sim.access(0, a, 1, false);
+  EXPECT_EQ(sim.level_total_misses(1), cold);  // second scan fully cached
+}
+
+TEST(CacheSim, CyclicScanOfOversizedDataAlwaysMisses) {
+  // With LRU, repeatedly scanning (capacity + 1 block) of data evicts the
+  // block about to be needed: every block access misses.
+  const MachineConfig cfg = MachineConfig::sequential(1024, 8);
+  CacheSim sim(cfg);
+  const std::uint64_t n = 1024 + 8;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t a = 0; a < n; a += 8) sim.access(0, a, 1, false);
+  }
+  EXPECT_EQ(sim.level_total_misses(1), 3 * (n / 8));
+}
+
+TEST(CacheSim, PrivateCachesAreIndependent) {
+  const MachineConfig cfg = MachineConfig::shared_l2(4);
+  CacheSim sim(cfg);
+  // Core 0 reads a range; core 1 reading it again misses in its own L1 but
+  // hits in the shared L2.
+  for (std::uint64_t a = 0; a < 256; ++a) sim.access(0, a, 1, false);
+  const std::uint64_t l2_after_core0 = sim.level_total_misses(2);
+  for (std::uint64_t a = 0; a < 256; ++a) sim.access(1, a, 1, false);
+  EXPECT_GT(sim.counters(1, 1).misses, 0u);           // L1 of core 1 misses
+  EXPECT_EQ(sim.level_total_misses(2), l2_after_core0);  // L2 all hits
+}
+
+TEST(CacheSim, WriteSharingPingPongs) {
+  const MachineConfig cfg = MachineConfig::shared_l2(2);
+  CacheSim sim(cfg);
+  // Both cores alternate writes to the same B_1 block.
+  for (int t = 0; t < 10; ++t) {
+    sim.access(0, 0, 1, true);
+    sim.access(1, 0, 1, true);
+  }
+  EXPECT_GE(sim.pingpong_events(), 19u);  // every write after the first
+}
+
+TEST(CacheSim, DisjointBlocksDoNotPingPong) {
+  const MachineConfig cfg = MachineConfig::shared_l2(2);
+  CacheSim sim(cfg);
+  for (int t = 0; t < 10; ++t) {
+    sim.access(0, 0, 1, true);
+    sim.access(1, cfg.block(1), 1, true);  // different B_1 block
+  }
+  EXPECT_EQ(sim.pingpong_events(), 0u);
+}
+
+TEST(CacheSim, ResetStatsKeepsContents) {
+  const MachineConfig cfg = MachineConfig::sequential();
+  CacheSim sim(cfg);
+  for (std::uint64_t a = 0; a < 64; ++a) sim.access(0, a, 1, false);
+  sim.reset_stats();
+  EXPECT_EQ(sim.level_total_misses(1), 0u);
+  for (std::uint64_t a = 0; a < 64; ++a) sim.access(0, a, 1, false);
+  EXPECT_EQ(sim.level_total_misses(1), 0u);  // still warm
+  sim.clear();
+  for (std::uint64_t a = 0; a < 64; ++a) sim.access(0, a, 1, false);
+  EXPECT_GT(sim.level_total_misses(1), 0u);  // cold after clear
+}
+
+TEST(CacheSim, MultiWordAccessTouchesAllBlocks) {
+  const MachineConfig cfg = MachineConfig::sequential(1 << 14, 8);
+  CacheSim sim(cfg);
+  sim.access(0, 0, 32, false);  // 32 words = 4 blocks of 8
+  EXPECT_EQ(sim.level_total_misses(1), 4u);
+}
+
+}  // namespace
+}  // namespace obliv::hm

@@ -1,0 +1,246 @@
+#include "algo/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "hm/config.hpp"
+#include "sched/native_executor.hpp"
+#include "sched/sim_executor.hpp"
+#include "util/rng.hpp"
+
+namespace obliv::algo {
+namespace {
+
+using sched::SimExecutor;
+
+EdgeList random_tree(std::uint64_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  EdgeList t;
+  t.n = n;
+  for (std::uint64_t v = 1; v < n; ++v) {
+    t.edges.emplace_back(static_cast<std::uint32_t>(rng.below(v)),
+                         static_cast<std::uint32_t>(v));
+  }
+  return t;
+}
+
+EdgeList path_graph(std::uint64_t n) {
+  EdgeList t;
+  t.n = n;
+  for (std::uint64_t v = 1; v < n; ++v) {
+    t.edges.emplace_back(static_cast<std::uint32_t>(v - 1),
+                         static_cast<std::uint32_t>(v));
+  }
+  return t;
+}
+
+EdgeList star_graph(std::uint64_t n) {
+  EdgeList t;
+  t.n = n;
+  for (std::uint64_t v = 1; v < n; ++v) {
+    t.edges.emplace_back(0u, static_cast<std::uint32_t>(v));
+  }
+  return t;
+}
+
+/// Reference tree functions by DFS.
+TreeFunctions tree_reference(const EdgeList& t, std::uint64_t root) {
+  std::vector<std::vector<std::uint32_t>> adj(t.n);
+  for (auto [u, v] : t.edges) {
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  }
+  TreeFunctions f;
+  f.parent.assign(t.n, root);
+  f.depth.assign(t.n, 0);
+  f.subtree_size.assign(t.n, 1);
+  std::vector<std::pair<std::uint32_t, int>> stack{{std::uint32_t(root), 0}};
+  std::vector<std::uint32_t> order;
+  std::vector<char> seen(t.n, 0);
+  seen[root] = 1;
+  while (!stack.empty()) {
+    auto [u, d] = stack.back();
+    stack.pop_back();
+    f.depth[u] = d;
+    order.push_back(u);
+    for (std::uint32_t v : adj[u]) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        f.parent[v] = u;
+        stack.push_back({v, d + 1});
+      }
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (*it != root) f.subtree_size[f.parent[*it]] += f.subtree_size[*it];
+  }
+  // Preorder numbering matching the Euler tour's child order: a vertex
+  // entered from parent p visits its neighbors in *circular* ascending
+  // order starting just after p (the tour continues with the arc after the
+  // twin of the entering arc); the root starts at its smallest neighbor.
+  f.preorder.assign(t.n, 0);
+  for (auto& nb : adj) std::sort(nb.begin(), nb.end());
+  std::uint64_t counter = 0;
+  struct Frame {
+    std::uint32_t u;
+    std::vector<std::uint32_t> kids;
+    std::size_t next = 0;
+  };
+  auto kids_of = [&](std::uint32_t u, std::uint32_t parent) {
+    std::vector<std::uint32_t> kids;
+    const auto& nb = adj[u];
+    std::size_t start = 0;
+    if (u != root) {
+      // Position just after `parent` in the sorted circular order.
+      start = static_cast<std::size_t>(
+          std::upper_bound(nb.begin(), nb.end(), parent) - nb.begin());
+    }
+    for (std::size_t d = 0; d < nb.size(); ++d) {
+      const std::uint32_t v = nb[(start + d) % nb.size()];
+      if (v != parent) kids.push_back(v);
+    }
+    return kids;
+  };
+  std::vector<Frame> fstack;
+  fstack.push_back(Frame{static_cast<std::uint32_t>(root),
+                         kids_of(static_cast<std::uint32_t>(root),
+                                 static_cast<std::uint32_t>(root))});
+  f.preorder[root] = counter++;
+  while (!fstack.empty()) {
+    Frame& top = fstack.back();
+    if (top.next >= top.kids.size()) {
+      fstack.pop_back();
+      continue;
+    }
+    const std::uint32_t v = top.kids[top.next++];
+    f.preorder[v] = counter++;
+    fstack.push_back(Frame{v, kids_of(v, top.u)});
+  }
+  return f;
+}
+
+class TreeShapes : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeShapes, EulerTourTreeFunctionsMatchDfs) {
+  EdgeList t;
+  std::uint64_t root = 0;
+  switch (GetParam()) {
+    case 0: t = random_tree(200, 3); break;
+    case 1: t = path_graph(150); break;
+    case 2: t = star_graph(150); break;
+    case 3: t = random_tree(512, 17); root = 100; break;
+    case 4: t = random_tree(2, 1); break;
+    case 5: t = random_tree(3, 1); root = 2; break;
+  }
+  SimExecutor ex(hm::MachineConfig::shared_l2(4));
+  TreeFunctions got, expect = tree_reference(t, root);
+  ex.run(16 * (t.n + 1), [&] { got = mo_tree_functions(ex, t, root); });
+  EXPECT_EQ(got.parent, expect.parent);
+  EXPECT_EQ(got.depth, expect.depth);
+  EXPECT_EQ(got.subtree_size, expect.subtree_size);
+  EXPECT_EQ(got.preorder, expect.preorder);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TreeShapes, ::testing::Range(0, 6));
+
+TEST(TreeFunctions, SingletonAndEmpty) {
+  SimExecutor ex(hm::MachineConfig::shared_l2(4));
+  EdgeList t;
+  t.n = 1;
+  TreeFunctions f;
+  ex.run(64, [&] { f = mo_tree_functions(ex, t, 0); });
+  EXPECT_EQ(f.parent, (std::vector<std::uint64_t>{0}));
+  EXPECT_EQ(f.subtree_size, (std::vector<std::uint64_t>{1}));
+}
+
+// ---- Connected components ----
+
+/// Checks labels define the same partition as the reference.
+void expect_same_partition(const std::vector<std::uint64_t>& got,
+                           const std::vector<std::uint64_t>& ref) {
+  ASSERT_EQ(got.size(), ref.size());
+  std::map<std::uint64_t, std::uint64_t> fwd, bwd;
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    auto [it1, ins1] = fwd.emplace(got[v], ref[v]);
+    EXPECT_EQ(it1->second, ref[v]) << "vertex " << v;
+    auto [it2, ins2] = bwd.emplace(ref[v], got[v]);
+    EXPECT_EQ(it2->second, got[v]) << "vertex " << v;
+  }
+}
+
+EdgeList random_graph(std::uint64_t n, std::uint64_t m, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  EdgeList g;
+  g.n = n;
+  for (std::uint64_t e = 0; e < m; ++e) {
+    g.edges.emplace_back(static_cast<std::uint32_t>(rng.below(n)),
+                         static_cast<std::uint32_t>(rng.below(n)));
+  }
+  return g;
+}
+
+class CcGraphs : public ::testing::TestWithParam<int> {};
+
+TEST_P(CcGraphs, MatchesBfs) {
+  EdgeList g;
+  switch (GetParam()) {
+    case 0: g = random_graph(300, 150, 1); break;   // many small components
+    case 1: g = random_graph(300, 900, 2); break;   // mostly one component
+    case 2: g = path_graph(500); break;             // deep single component
+    case 3: g = star_graph(400); break;
+    case 4: g = EdgeList{100, {}}; break;           // no edges
+    case 5: {                                       // two cliques + isolate
+      g.n = 21;
+      for (std::uint32_t i = 0; i < 10; ++i) {
+        for (std::uint32_t j = i + 1; j < 10; ++j) {
+          g.edges.emplace_back(i, j);
+          g.edges.emplace_back(10 + i, 10 + j);
+        }
+      }
+      break;
+    }
+    case 6: g = random_graph(64, 64, 3); break;
+  }
+  SimExecutor ex(hm::MachineConfig::shared_l2(4));
+  std::vector<std::uint64_t> got;
+  ex.run(16 * (g.n + 1), [&] { got = mo_connected_components(ex, g); });
+  expect_same_partition(got, cc_bfs_reference(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, CcGraphs, ::testing::Range(0, 7));
+
+TEST(Cc, SelfLoopsAndParallelEdges) {
+  EdgeList g;
+  g.n = 5;
+  g.edges = {{0, 0}, {1, 2}, {2, 1}, {1, 2}, {3, 4}};
+  SimExecutor ex(hm::MachineConfig::shared_l2(4));
+  std::vector<std::uint64_t> got;
+  ex.run(256, [&] { got = mo_connected_components(ex, g); });
+  expect_same_partition(got, cc_bfs_reference(g));
+}
+
+TEST(Cc, NativeExecutorMatches) {
+  EdgeList g = random_graph(2000, 3000, 5);
+  sched::NativeExecutor ex(4);
+  auto got = mo_connected_components(ex, g);
+  expect_same_partition(got, cc_bfs_reference(g));
+}
+
+TEST(Cc, StressManyRandomGraphs) {
+  util::Xoshiro256 rng(99);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::uint64_t n = 2 + rng.below(200);
+    const std::uint64_t m = rng.below(3 * n);
+    EdgeList g = random_graph(n, m, trial);
+    SimExecutor ex(hm::MachineConfig::shared_l2(2));
+    std::vector<std::uint64_t> got;
+    ex.run(16 * (n + 1), [&] { got = mo_connected_components(ex, g); });
+    expect_same_partition(got, cc_bfs_reference(g));
+  }
+}
+
+}  // namespace
+}  // namespace obliv::algo

@@ -1,0 +1,85 @@
+#include "hm/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace obliv::hm {
+namespace {
+
+TEST(MachineConfig, PresetsValidate) {
+  EXPECT_NO_THROW(MachineConfig::sequential());
+  EXPECT_NO_THROW(MachineConfig::shared_l2(8));
+  EXPECT_NO_THROW(MachineConfig::three_level());
+  EXPECT_NO_THROW(MachineConfig::figure1());
+}
+
+TEST(MachineConfig, Figure1Shape) {
+  // The h=5 machine of Figure 1: fanins (1,2,2,2) -> 8 cores; the top two
+  // levels (L4 + memory) form a sequential hierarchy (p_h = 1 cache at the
+  // top cache level).
+  const MachineConfig m = MachineConfig::figure1();
+  EXPECT_EQ(m.h(), 5u);
+  EXPECT_EQ(m.cores(), 8u);
+  EXPECT_EQ(m.caches_at(1), 8u);
+  EXPECT_EQ(m.caches_at(2), 4u);
+  EXPECT_EQ(m.caches_at(3), 2u);
+  EXPECT_EQ(m.caches_at(4), 1u);
+  EXPECT_EQ(m.cores_under(1), 1u);
+  EXPECT_EQ(m.cores_under(4), 8u);
+}
+
+TEST(MachineConfig, CoreToCacheMapping) {
+  const MachineConfig m = MachineConfig::three_level(4, 4);  // 16 cores
+  EXPECT_EQ(m.cores(), 16u);
+  // Level 2 caches shared by 4 cores each.
+  EXPECT_EQ(m.cache_of(0, 2), 0u);
+  EXPECT_EQ(m.cache_of(3, 2), 0u);
+  EXPECT_EQ(m.cache_of(4, 2), 1u);
+  EXPECT_EQ(m.cache_of(15, 2), 3u);
+  EXPECT_EQ(m.cache_of(15, 3), 0u);
+  EXPECT_EQ(m.first_core_under(2, 2), 8u);
+}
+
+TEST(MachineConfig, SmallestLevelFitting) {
+  const MachineConfig m = MachineConfig::three_level(4, 4);
+  EXPECT_EQ(m.smallest_level_fitting(1), 1u);
+  EXPECT_EQ(m.smallest_level_fitting(m.capacity(1)), 1u);
+  EXPECT_EQ(m.smallest_level_fitting(m.capacity(1) + 1), 2u);
+  EXPECT_EQ(m.smallest_level_fitting(m.capacity(3) + 1), m.h());
+}
+
+TEST(MachineConfig, RejectsNonPrivateL1) {
+  EXPECT_THROW(MachineConfig("bad", {LevelSpec{1024, 8, 2}}),
+               std::invalid_argument);
+}
+
+TEST(MachineConfig, RejectsShortCache) {
+  // C < B^2 violates the tall-cache assumption.
+  EXPECT_THROW(MachineConfig("bad", {LevelSpec{32, 8, 1}}),
+               std::invalid_argument);
+}
+
+TEST(MachineConfig, RejectsCacheGrowthViolation) {
+  // C_2 < p_2 * C_1.
+  EXPECT_THROW(MachineConfig("bad", {LevelSpec{1024, 8, 1},
+                                     LevelSpec{2048, 8, 4}}),
+               std::invalid_argument);
+}
+
+TEST(MachineConfig, RejectsShrinkingBlocks) {
+  EXPECT_THROW(MachineConfig("bad", {LevelSpec{1024, 16, 1},
+                                     LevelSpec{65536, 8, 2}}),
+               std::invalid_argument);
+}
+
+TEST(MachineConfig, CoreBoundFromCacheGrowth) {
+  // p <= K * C_{h-1} / C_1 (Section II).  With c_i = 1 this is exactly
+  // C_top / C_1 >= p, which validate() enforces transitively.
+  const MachineConfig m = MachineConfig::figure1();
+  EXPECT_LE(m.cores(),
+            m.capacity(m.cache_levels()) / m.capacity(1));
+}
+
+}  // namespace
+}  // namespace obliv::hm

@@ -1,0 +1,119 @@
+#include "sched/native_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace obliv::sched {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int t = 0; t < 100; ++t) {
+    tasks.push_back([&] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.run_all(std::move(tasks));
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, NestedParallelismDoesNotDeadlock) {
+  ThreadPool pool(2);  // fewer threads than nested groups
+  std::atomic<int> leaves{0};
+  std::vector<std::function<void()>> outer;
+  for (int t = 0; t < 8; ++t) {
+    outer.push_back([&] {
+      std::vector<std::function<void()>> inner;
+      for (int s = 0; s < 8; ++s) {
+        inner.push_back(
+            [&] { leaves.fetch_add(1, std::memory_order_relaxed); });
+      }
+      pool.run_all(std::move(inner));
+    });
+  }
+  pool.run_all(std::move(outer));
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(ThreadPool, SingleThreadStillWorks) {
+  ThreadPool pool(1);
+  int x = 0;
+  pool.run_all({[&] { x = 1; }, [&] { x += 2; }});
+  EXPECT_EQ(x, 3);
+}
+
+TEST(NativeExecutor, PforCoversRangeOnceUnderContention) {
+  NativeExecutor ex(4, /*grain=*/64);
+  const std::size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  ex.cgc_pfor(0, n, 1, [&](std::uint64_t a, std::uint64_t b) {
+    for (std::uint64_t k = a; k < b; ++k) {
+      hits[k].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t k = 0; k < n; ++k) {
+    ASSERT_EQ(hits[k].load(), 1) << k;
+  }
+}
+
+TEST(NativeExecutor, SmallTasksRunInline) {
+  // Tasks below the grain run sequentially on the calling thread: result
+  // identical, no fork.
+  NativeExecutor ex(4, /*grain=*/1 << 20);
+  int order = 0;
+  ex.sb_parallel2(
+      10, [&] { EXPECT_EQ(order++, 0); },  // sequential => ordered
+      10, [&] { EXPECT_EQ(order++, 1); });
+  EXPECT_EQ(order, 2);
+}
+
+TEST(NativeExecutor, CgcSbPforExecutesEveryTask) {
+  NativeExecutor ex(3, 8);
+  std::vector<std::atomic<int>> hits(500);
+  for (auto& h : hits) h.store(0);
+  ex.cgc_sb_pfor(hits.size(), 1 << 16, [&](std::uint64_t s) {
+    hits[s].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(NativeExecutor, DeepRecursiveForkJoin) {
+  NativeExecutor ex(4, 1);
+  std::atomic<std::uint64_t> sum{0};
+  // Binary recursion summing 1..1024 via leaf tasks.
+  std::function<void(std::uint64_t, std::uint64_t)> rec =
+      [&](std::uint64_t lo, std::uint64_t hi) {
+        if (hi - lo == 1) {
+          sum.fetch_add(lo, std::memory_order_relaxed);
+          return;
+        }
+        const std::uint64_t mid = (lo + hi) / 2;
+        ex.sb_parallel2((hi - lo) * 8, [&] { rec(lo, mid); },
+                        (hi - lo) * 8, [&] { rec(mid, hi); });
+      };
+  rec(1, 1025);
+  EXPECT_EQ(sum.load(), 1024u * 1025 / 2);
+}
+
+TEST(NativeExecutor, StressRepeatedParallelSections) {
+  NativeExecutor ex(4, 1);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> n{0};
+    std::vector<SbTask> tasks;
+    for (int t = 0; t < 8; ++t) {
+      tasks.push_back(SbTask{
+          1 << 12, [&] { n.fetch_add(1, std::memory_order_relaxed); }});
+    }
+    ex.sb_parallel(std::move(tasks));
+    ASSERT_EQ(n.load(), 8) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace obliv::sched

@@ -1,0 +1,134 @@
+// Unit tests of the NO layer's building blocks: move_block's message
+// generation, columnsort geometry, and D-BSP configuration.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "no/colsort.hpp"
+#include "no/machine.hpp"
+#include "no/ngep.hpp"
+
+namespace obliv::no {
+namespace {
+
+/// Captures every message of one superstep via a p = N, B = 1 fold.
+struct MoveProbe {
+  NoMachine mach;
+  explicit MoveProbe(std::uint64_t pes)
+      : mach(pes, {{static_cast<std::uint32_t>(pes), 1}}) {}
+};
+
+TEST(MoveBlock, ConservesWords) {
+  // Moving w words between distributions declares exactly w words (minus
+  // the self-sends, which are free but still part of the block).
+  for (std::uint64_t words : {1u, 7u, 64u, 1000u}) {
+    for (auto [sq, dq] : {std::pair{4u, 1u}, {1u, 4u}, {4u, 2u}, {3u, 5u}}) {
+      NoMachine mach(16, {{16, 1}});
+      move_block(mach, words, 0, sq, 8, dq);  // disjoint src/dst groups
+      mach.end_superstep();
+      EXPECT_EQ(mach.total_message_words(), words)
+          << words << " " << sq << "->" << dq;
+    }
+  }
+}
+
+TEST(MoveBlock, BalancesAcrossDestination) {
+  // Each destination PE receives ~words/d_q.
+  const std::uint64_t words = 1024, dq = 8;
+  NoMachine mach(16, {{16, 1}});
+  move_block(mach, words, 0, 4, 8, dq);
+  mach.end_superstep();
+  // h = max per-processor blocks; balanced means ~words/dq at B=1 on the
+  // receive side and ~words/4 on the send side (the max).
+  EXPECT_LE(mach.communication(0), words / 4 + 1);
+  EXPECT_GE(mach.communication(0), words / 4 - 1);
+}
+
+TEST(MoveBlock, SameGroupIsFree) {
+  NoMachine mach(8, {{8, 1}});
+  move_block(mach, 500, 2, 4, 2, 4);  // identical distribution
+  mach.end_superstep();
+  EXPECT_EQ(mach.communication(0), 0u);
+}
+
+TEST(MoveBlock, ZeroWordsIsNoop) {
+  NoMachine mach(8, {{8, 1}});
+  move_block(mach, 0, 0, 4, 4, 4);
+  mach.end_superstep();
+  EXPECT_EQ(mach.supersteps(), 0u);
+}
+
+class ColsortShapes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ColsortShapes, GeometryInvariants) {
+  const std::uint64_t n = GetParam();
+  const ColsortShape sh = colsort_shape(n);
+  EXPECT_GE(sh.r * sh.s, n);
+  EXPECT_EQ(sh.padded, sh.r * sh.s);
+  if (sh.s > 1) {
+    EXPECT_GE(sh.r, 2 * (sh.s - 1) * (sh.s - 1));  // Leighton's condition
+  }
+  // Padding stays within one extra "row band" of the input size.
+  EXPECT_LE(sh.padded, std::max<std::uint64_t>(4, 4 * n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ColsortShapes,
+                         ::testing::Values(1, 2, 3, 17, 64, 100, 999, 4096,
+                                           100000, 1000000));
+
+TEST(Dbsp, MeshLikeConfigIsWellFormed) {
+  for (std::uint32_t P : {2u, 8u, 64u}) {
+    const DbspConfig cfg = DbspConfig::mesh_like(P);
+    EXPECT_EQ(cfg.P, P);
+    ASSERT_EQ(cfg.g.size(), cfg.B.size());
+    ASSERT_GE(cfg.g.size(), 1u);
+    // g decreases with cluster level (smaller clusters are cheaper).
+    for (std::size_t i = 1; i < cfg.g.size(); ++i) {
+      EXPECT_LE(cfg.g[i], cfg.g[i - 1]);
+      EXPECT_GE(cfg.B[i - 1], cfg.B[i]);
+    }
+  }
+}
+
+TEST(NGepSchedules, DStarUsesEachUVQuadrantOncePerRound) {
+  // Structural check of Table I: count (a,k) and (k,b) pairs per round.
+  using detail::Round;
+  auto check = [](const std::vector<Round>& sched, bool expect_unique) {
+    for (const Round& round : sched) {
+      if (round.size() != 4) continue;  // only the D-type rounds
+      std::map<std::pair<int, int>, int> u_uses, v_uses;
+      for (const auto& [a, b, k] : round) {
+        u_uses[{a, k}]++;
+        v_uses[{k, b}]++;
+      }
+      for (const auto& [q, cnt] : u_uses) {
+        if (expect_unique) {
+          EXPECT_EQ(cnt, 1) << "U" << q.first << q.second;
+        }
+      }
+      if (!expect_unique) {
+        int max_use = 0;
+        for (const auto& [q, cnt] : u_uses) max_use = std::max(max_use, cnt);
+        EXPECT_EQ(max_use, 2);  // D uses U quadrants twice per round
+      }
+    }
+  };
+  check(detail::schedule_dstar(), true);
+  check(detail::schedule_d(), false);
+}
+
+TEST(NGepSchedules, EveryXQuadrantGetsBothKHalves) {
+  // Completeness: across the two rounds of D / D*, each X quadrant (a, b)
+  // must be updated with k = 0 and k = 1 exactly once each.
+  for (const auto* sched : {&detail::schedule_d(), &detail::schedule_dstar()}) {
+    std::map<std::tuple<int, int, int>, int> seen;
+    for (const auto& round : *sched) {
+      for (const auto& [a, b, k] : round) seen[{a, b, k}]++;
+    }
+    EXPECT_EQ(seen.size(), 8u);
+    for (const auto& [key, cnt] : seen) EXPECT_EQ(cnt, 1);
+  }
+}
+
+}  // namespace
+}  // namespace obliv::no

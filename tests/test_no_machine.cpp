@@ -1,0 +1,129 @@
+#include "no/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace obliv::no {
+namespace {
+
+TEST(NoMachine, LocalSendsAreFree) {
+  NoMachine m(8, {{4, 2}});
+  m.send(0, 0, 100);
+  m.send(0, 1, 10);  // PEs 0 and 1 fold onto the same processor (8/4 = 2)
+  m.end_superstep();
+  EXPECT_EQ(m.communication(0), 0u);
+}
+
+TEST(NoMachine, BlocksRoundUp) {
+  NoMachine m(4, {{4, 8}});
+  m.send(0, 1, 1);  // 1 word -> 1 block of 8
+  m.end_superstep();
+  EXPECT_EQ(m.communication(0), 1u);
+}
+
+TEST(NoMachine, WordsAggregateWithinSuperstepBeforeBlocking) {
+  NoMachine m(4, {{4, 8}});
+  for (int t = 0; t < 16; ++t) m.send(0, 1, 1);  // 16 words -> 2 blocks
+  m.end_superstep();
+  EXPECT_EQ(m.communication(0), 2u);
+}
+
+TEST(NoMachine, SeparateSuperstepsDoNotAggregate) {
+  NoMachine m(4, {{4, 8}});
+  for (int t = 0; t < 4; ++t) {
+    m.send(0, 1, 1);
+    m.end_superstep();  // each 1-word superstep costs a full block
+  }
+  EXPECT_EQ(m.communication(0), 4u);
+}
+
+TEST(NoMachine, HIsMaxOverProcessorsOfInAndOut) {
+  NoMachine m(4, {{4, 1}});
+  // Processor 0 sends 5 words to 1 and 3 to 2: out(0) = 8 blocks of B=1.
+  m.send(0, 1, 5);
+  m.send(0, 2, 3);
+  m.end_superstep();
+  EXPECT_EQ(m.communication(0), 8u);
+}
+
+TEST(NoMachine, MultipleFoldsAccountIndependently) {
+  NoMachine m(8, {{8, 1}, {2, 4}});
+  m.send(0, 7, 8);  // 8 words: fold0 (B=1): 8 blocks; fold1 (B=4): 2 blocks
+  m.end_superstep();
+  EXPECT_EQ(m.communication(0), 8u);
+  EXPECT_EQ(m.communication(1), 2u);
+}
+
+TEST(NoMachine, ComputationIsMaxPerProcessorSum) {
+  NoMachine m(4, {{2, 1}});
+  m.compute(0, 10);
+  m.compute(1, 20);  // same processor as PE 0 -> sums to 30
+  m.compute(2, 25);
+  m.end_superstep();
+  EXPECT_EQ(m.computation(0), 30u);
+}
+
+TEST(NoMachine, ParallelBranchesTakeMax) {
+  NoMachine m(8, {{8, 1}});
+  m.parallel_begin();
+  m.send(0, 1, 5);
+  m.parallel_next();
+  m.send(2, 3, 9);
+  m.parallel_next();
+  m.parallel_end();
+  EXPECT_EQ(m.communication(0), 9u);  // max(5, 9), not 14
+}
+
+TEST(NoMachine, NestedParallelFrames) {
+  NoMachine m(8, {{8, 1}});
+  m.parallel_begin();
+  {
+    m.parallel_begin();
+    m.send(0, 1, 3);
+    m.parallel_next();
+    m.send(2, 3, 4);
+    m.parallel_next();
+    m.parallel_end();  // inner: max(3,4) = 4
+    m.send(0, 2, 2);   // sequential after inner: +2 -> branch total 6
+  }
+  m.parallel_next();
+  m.send(4, 5, 5);
+  m.parallel_next();
+  m.parallel_end();  // outer: max(6, 5) = 6
+  EXPECT_EQ(m.communication(0), 6u);
+}
+
+TEST(NoMachine, DbspChargesByClusterGranularity) {
+  DbspConfig dbsp;
+  dbsp.P = 4;
+  dbsp.g = {10.0, 1.0};  // level 0: whole machine, expensive; level 1: cheap
+  dbsp.B = {1, 1};
+  NoMachine m(4, {{4, 1}}, dbsp);
+  // Message within cluster {0,1} (level 1): cheap.
+  m.send(0, 1, 1);
+  m.end_superstep();
+  EXPECT_DOUBLE_EQ(m.dbsp_time(), 1.0);
+  // Message crossing clusters (0 -> 3): whole-machine superstep.
+  m.send(0, 3, 1);
+  m.end_superstep();
+  EXPECT_DOUBLE_EQ(m.dbsp_time(), 11.0);
+}
+
+TEST(NoMachine, ResetClearsEverything) {
+  NoMachine m(4, {{4, 1}});
+  m.send(0, 1, 5);
+  m.end_superstep();
+  m.reset();
+  EXPECT_EQ(m.communication(0), 0u);
+  EXPECT_EQ(m.supersteps(), 0u);
+  EXPECT_EQ(m.total_message_words(), 0u);
+}
+
+TEST(NoMachine, EmptySuperstepsAreNotCounted) {
+  NoMachine m(4, {{4, 1}});
+  m.end_superstep();
+  m.end_superstep();
+  EXPECT_EQ(m.supersteps(), 0u);
+}
+
+}  // namespace
+}  // namespace obliv::no

@@ -1,0 +1,113 @@
+#include "sched/views.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hm/config.hpp"
+#include "sched/native_executor.hpp"
+#include "sched/sim_executor.hpp"
+
+namespace obliv::sched {
+namespace {
+
+template <class Buf>
+void fill_identity(Buf& buf, std::size_t n) {
+  for (std::size_t i = 0; i < n * n; ++i) {
+    buf.raw()[i] = static_cast<double>(i);
+  }
+}
+
+TEST(MatView, LoadStoreRoundTrip) {
+  NativeExecutor ex(1);
+  auto buf = ex.make_buf<double>(16);
+  auto m = MatView<NatRef<double>>::full(buf.ref(), 4, 4);
+  m.store(2, 3, 42.0);
+  EXPECT_EQ(m.load(2, 3), 42.0);
+  EXPECT_EQ(buf.raw()[2 * 4 + 3], 42.0);
+}
+
+TEST(MatView, QuadrantsPartitionTheMatrix) {
+  NativeExecutor ex(1);
+  const std::size_t n = 8;
+  auto buf = ex.make_buf<double>(n * n);
+  fill_identity(buf, n);
+  auto m = MatView<NatRef<double>>::full(buf.ref(), n, n);
+  // Paper notation: quad(0,0)=X11, quad(0,1)=X12, quad(1,0)=X21,
+  // quad(1,1)=X22.
+  EXPECT_EQ(m.quad(0, 0).load(0, 0), 0.0);
+  EXPECT_EQ(m.quad(0, 1).load(0, 0), 4.0);
+  EXPECT_EQ(m.quad(1, 0).load(0, 0), 32.0);
+  EXPECT_EQ(m.quad(1, 1).load(0, 0), 36.0);
+  EXPECT_EQ(m.quad(1, 1).load(3, 3), 63.0);
+  EXPECT_EQ(m.quad(0, 0).rows(), n / 2);
+}
+
+TEST(MatView, NestedSubViews) {
+  NativeExecutor ex(1);
+  const std::size_t n = 16;
+  auto buf = ex.make_buf<double>(n * n);
+  fill_identity(buf, n);
+  auto m = MatView<NatRef<double>>::full(buf.ref(), n, n);
+  auto inner = m.sub(4, 8, 8, 4).sub(2, 1, 2, 2);
+  // (4+2, 8+1) in the original.
+  EXPECT_EQ(inner.load(0, 0), double(6 * n + 9));
+  EXPECT_EQ(inner.load(1, 1), double(7 * n + 10));
+}
+
+TEST(MatView, RowSliceIsContiguous) {
+  NativeExecutor ex(1);
+  const std::size_t n = 8;
+  auto buf = ex.make_buf<double>(n * n);
+  fill_identity(buf, n);
+  auto m = MatView<NatRef<double>>::full(buf.ref(), n, n);
+  auto q = m.quad(1, 1);
+  auto row = q.row(1);  // global row 5, columns 4..7
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(row.load(0), double(5 * n + 4));
+  EXPECT_EQ(row.load(3), double(5 * n + 7));
+  row.store(2, -1.0);
+  EXPECT_EQ(buf.raw()[5 * n + 6], -1.0);
+}
+
+TEST(MatView, SameRegionDetectsAliases) {
+  NativeExecutor ex(1);
+  auto buf = ex.make_buf<double>(64);
+  auto m = MatView<NatRef<double>>::full(buf.ref(), 8, 8);
+  EXPECT_TRUE(m.quad(0, 1).same_region(m.sub(0, 4, 4, 4)));
+  EXPECT_FALSE(m.quad(0, 1).same_region(m.quad(1, 0)));
+}
+
+TEST(MatView, InstrumentedAccessesAreCounted) {
+  SimExecutor ex(hm::MachineConfig::sequential());
+  auto buf = ex.make_buf<double>(64);
+  auto m = MatView<SimRef<double>>::full(buf.ref(), 8, 8);
+  const auto metrics = ex.run(64, [&] {
+    for (int i = 0; i < 8; ++i) {
+      for (int j = 0; j < 8; ++j) m.store(i, j, 1.0);
+    }
+  });
+  EXPECT_EQ(metrics.work, 64u);  // one word per store
+  EXPECT_EQ(metrics.level_max_misses[0], 64 / 8u);  // 8 blocks of B=8
+}
+
+TEST(SimRef, SliceAddressesStayConsistent) {
+  SimExecutor ex(hm::MachineConfig::sequential());
+  auto buf = ex.make_buf<double>(100);
+  auto whole = buf.ref();
+  auto part = whole.slice(40, 20);
+  EXPECT_EQ(part.addr(), whole.addr() + 40);
+  part.store(0, 7.0);
+  EXPECT_EQ(whole.load(40), 7.0);
+}
+
+TEST(SimExecutorAlloc, BuffersAreBlockAligned) {
+  SimExecutor ex(hm::MachineConfig::shared_l2(4));
+  auto a = ex.make_buf<double>(3);
+  auto b = ex.make_buf<double>(5);
+  const std::uint64_t align = ex.config().block(ex.config().cache_levels());
+  EXPECT_EQ(a.addr() % align, 0u);
+  EXPECT_EQ(b.addr() % align, 0u);
+  EXPECT_GE(b.addr(), a.addr() + 3);  // disjoint allocations
+}
+
+}  // namespace
+}  // namespace obliv::sched
