@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cc"
+  "../bench/bench_cc.pdb"
+  "CMakeFiles/bench_cc.dir/bench_cc.cpp.o"
+  "CMakeFiles/bench_cc.dir/bench_cc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_gep"
+  "../bench/bench_gep.pdb"
+  "CMakeFiles/bench_gep.dir/bench_gep.cpp.o"
+  "CMakeFiles/bench_gep.dir/bench_gep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_listrank"
+  "../bench/bench_listrank.pdb"
+  "CMakeFiles/bench_listrank.dir/bench_listrank.cpp.o"
+  "CMakeFiles/bench_listrank.dir/bench_listrank.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_listrank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

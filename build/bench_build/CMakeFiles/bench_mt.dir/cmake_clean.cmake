@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mt"
+  "../bench/bench_mt.pdb"
+  "CMakeFiles/bench_mt.dir/bench_mt.cpp.o"
+  "CMakeFiles/bench_mt.dir/bench_mt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ngep"
+  "../bench/bench_ngep.pdb"
+  "CMakeFiles/bench_ngep.dir/bench_ngep.cpp.o"
+  "CMakeFiles/bench_ngep.dir/bench_ngep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ngep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

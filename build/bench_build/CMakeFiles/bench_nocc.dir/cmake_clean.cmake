@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_nocc"
+  "../bench/bench_nocc.pdb"
+  "CMakeFiles/bench_nocc.dir/bench_nocc.cpp.o"
+  "CMakeFiles/bench_nocc.dir/bench_nocc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nocc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

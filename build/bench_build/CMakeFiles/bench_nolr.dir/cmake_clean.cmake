@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_nolr"
+  "../bench/bench_nolr.pdb"
+  "CMakeFiles/bench_nolr.dir/bench_nolr.cpp.o"
+  "CMakeFiles/bench_nolr.dir/bench_nolr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nolr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scan"
+  "../bench/bench_scan.pdb"
+  "CMakeFiles/bench_scan.dir/bench_scan.cpp.o"
+  "CMakeFiles/bench_scan.dir/bench_scan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

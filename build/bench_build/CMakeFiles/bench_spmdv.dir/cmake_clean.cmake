@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_spmdv"
+  "../bench/bench_spmdv.pdb"
+  "CMakeFiles/bench_spmdv.dir/bench_spmdv.cpp.o"
+  "CMakeFiles/bench_spmdv.dir/bench_spmdv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spmdv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_wallclock"
+  "../bench/bench_wallclock.pdb"
+  "CMakeFiles/bench_wallclock.dir/bench_wallclock.cpp.o"
+  "CMakeFiles/bench_wallclock.dir/bench_wallclock.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wallclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

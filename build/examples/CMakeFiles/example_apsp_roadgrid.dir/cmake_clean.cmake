@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_apsp_roadgrid.dir/apsp_roadgrid.cpp.o"
+  "CMakeFiles/example_apsp_roadgrid.dir/apsp_roadgrid.cpp.o.d"
+  "example_apsp_roadgrid"
+  "example_apsp_roadgrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_apsp_roadgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

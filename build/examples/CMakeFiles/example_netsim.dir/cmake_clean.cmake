@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_netsim.dir/netsim.cpp.o"
+  "CMakeFiles/example_netsim.dir/netsim.cpp.o.d"
+  "example_netsim"
+  "example_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_orgchart.dir/orgchart.cpp.o"
+  "CMakeFiles/example_orgchart.dir/orgchart.cpp.o.d"
+  "example_orgchart"
+  "example_orgchart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_orgchart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

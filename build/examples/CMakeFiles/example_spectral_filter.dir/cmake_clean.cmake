@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_spectral_filter.dir/spectral_filter.cpp.o"
+  "CMakeFiles/example_spectral_filter.dir/spectral_filter.cpp.o.d"
+  "example_spectral_filter"
+  "example_spectral_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_spectral_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

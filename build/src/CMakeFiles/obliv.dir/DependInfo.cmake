@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hm/cache_sim.cpp" "src/CMakeFiles/obliv.dir/hm/cache_sim.cpp.o" "gcc" "src/CMakeFiles/obliv.dir/hm/cache_sim.cpp.o.d"
+  "/root/repo/src/hm/config.cpp" "src/CMakeFiles/obliv.dir/hm/config.cpp.o" "gcc" "src/CMakeFiles/obliv.dir/hm/config.cpp.o.d"
+  "/root/repo/src/no/machine.cpp" "src/CMakeFiles/obliv.dir/no/machine.cpp.o" "gcc" "src/CMakeFiles/obliv.dir/no/machine.cpp.o.d"
+  "/root/repo/src/sched/native_executor.cpp" "src/CMakeFiles/obliv.dir/sched/native_executor.cpp.o" "gcc" "src/CMakeFiles/obliv.dir/sched/native_executor.cpp.o.d"
+  "/root/repo/src/sched/sim_executor.cpp" "src/CMakeFiles/obliv.dir/sched/sim_executor.cpp.o" "gcc" "src/CMakeFiles/obliv.dir/sched/sim_executor.cpp.o.d"
+  "/root/repo/src/util/perf_counters.cpp" "src/CMakeFiles/obliv.dir/util/perf_counters.cpp.o" "gcc" "src/CMakeFiles/obliv.dir/util/perf_counters.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/obliv.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/obliv.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/obliv.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/obliv.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

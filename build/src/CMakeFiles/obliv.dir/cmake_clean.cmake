@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obliv.dir/hm/cache_sim.cpp.o"
+  "CMakeFiles/obliv.dir/hm/cache_sim.cpp.o.d"
+  "CMakeFiles/obliv.dir/hm/config.cpp.o"
+  "CMakeFiles/obliv.dir/hm/config.cpp.o.d"
+  "CMakeFiles/obliv.dir/no/machine.cpp.o"
+  "CMakeFiles/obliv.dir/no/machine.cpp.o.d"
+  "CMakeFiles/obliv.dir/sched/native_executor.cpp.o"
+  "CMakeFiles/obliv.dir/sched/native_executor.cpp.o.d"
+  "CMakeFiles/obliv.dir/sched/sim_executor.cpp.o"
+  "CMakeFiles/obliv.dir/sched/sim_executor.cpp.o.d"
+  "CMakeFiles/obliv.dir/util/perf_counters.cpp.o"
+  "CMakeFiles/obliv.dir/util/perf_counters.cpp.o.d"
+  "CMakeFiles/obliv.dir/util/stats.cpp.o"
+  "CMakeFiles/obliv.dir/util/stats.cpp.o.d"
+  "CMakeFiles/obliv.dir/util/table.cpp.o"
+  "CMakeFiles/obliv.dir/util/table.cpp.o.d"
+  "libobliv.a"
+  "libobliv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obliv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for obliv.
+# This may be replaced when dependencies are built.

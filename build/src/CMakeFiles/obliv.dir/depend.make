@@ -1,0 +1,2 @@
+# Empty dependencies file for obliv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bits.cpp" "tests/CMakeFiles/obliv_tests.dir/test_bits.cpp.o" "gcc" "tests/CMakeFiles/obliv_tests.dir/test_bits.cpp.o.d"
+  "/root/repo/tests/test_cache_sim.cpp" "tests/CMakeFiles/obliv_tests.dir/test_cache_sim.cpp.o" "gcc" "tests/CMakeFiles/obliv_tests.dir/test_cache_sim.cpp.o.d"
+  "/root/repo/tests/test_fft.cpp" "tests/CMakeFiles/obliv_tests.dir/test_fft.cpp.o" "gcc" "tests/CMakeFiles/obliv_tests.dir/test_fft.cpp.o.d"
+  "/root/repo/tests/test_gep.cpp" "tests/CMakeFiles/obliv_tests.dir/test_gep.cpp.o" "gcc" "tests/CMakeFiles/obliv_tests.dir/test_gep.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/obliv_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/obliv_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_hm_config.cpp" "tests/CMakeFiles/obliv_tests.dir/test_hm_config.cpp.o" "gcc" "tests/CMakeFiles/obliv_tests.dir/test_hm_config.cpp.o.d"
+  "/root/repo/tests/test_listrank.cpp" "tests/CMakeFiles/obliv_tests.dir/test_listrank.cpp.o" "gcc" "tests/CMakeFiles/obliv_tests.dir/test_listrank.cpp.o.d"
+  "/root/repo/tests/test_native_executor.cpp" "tests/CMakeFiles/obliv_tests.dir/test_native_executor.cpp.o" "gcc" "tests/CMakeFiles/obliv_tests.dir/test_native_executor.cpp.o.d"
+  "/root/repo/tests/test_no_algorithms.cpp" "tests/CMakeFiles/obliv_tests.dir/test_no_algorithms.cpp.o" "gcc" "tests/CMakeFiles/obliv_tests.dir/test_no_algorithms.cpp.o.d"
+  "/root/repo/tests/test_no_executor.cpp" "tests/CMakeFiles/obliv_tests.dir/test_no_executor.cpp.o" "gcc" "tests/CMakeFiles/obliv_tests.dir/test_no_executor.cpp.o.d"
+  "/root/repo/tests/test_no_internals.cpp" "tests/CMakeFiles/obliv_tests.dir/test_no_internals.cpp.o" "gcc" "tests/CMakeFiles/obliv_tests.dir/test_no_internals.cpp.o.d"
+  "/root/repo/tests/test_no_machine.cpp" "tests/CMakeFiles/obliv_tests.dir/test_no_machine.cpp.o" "gcc" "tests/CMakeFiles/obliv_tests.dir/test_no_machine.cpp.o.d"
+  "/root/repo/tests/test_obliviousness.cpp" "tests/CMakeFiles/obliv_tests.dir/test_obliviousness.cpp.o" "gcc" "tests/CMakeFiles/obliv_tests.dir/test_obliviousness.cpp.o.d"
+  "/root/repo/tests/test_scan.cpp" "tests/CMakeFiles/obliv_tests.dir/test_scan.cpp.o" "gcc" "tests/CMakeFiles/obliv_tests.dir/test_scan.cpp.o.d"
+  "/root/repo/tests/test_sim_executor.cpp" "tests/CMakeFiles/obliv_tests.dir/test_sim_executor.cpp.o" "gcc" "tests/CMakeFiles/obliv_tests.dir/test_sim_executor.cpp.o.d"
+  "/root/repo/tests/test_sort.cpp" "tests/CMakeFiles/obliv_tests.dir/test_sort.cpp.o" "gcc" "tests/CMakeFiles/obliv_tests.dir/test_sort.cpp.o.d"
+  "/root/repo/tests/test_spmdv.cpp" "tests/CMakeFiles/obliv_tests.dir/test_spmdv.cpp.o" "gcc" "tests/CMakeFiles/obliv_tests.dir/test_spmdv.cpp.o.d"
+  "/root/repo/tests/test_transpose.cpp" "tests/CMakeFiles/obliv_tests.dir/test_transpose.cpp.o" "gcc" "tests/CMakeFiles/obliv_tests.dir/test_transpose.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/obliv_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/obliv_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_views.cpp" "tests/CMakeFiles/obliv_tests.dir/test_views.cpp.o" "gcc" "tests/CMakeFiles/obliv_tests.dir/test_views.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/obliv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
