@@ -7,6 +7,10 @@
 // predicted growth exponents.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <functional>
 #include <iostream>
 #include <span>
 #include <string>
@@ -62,5 +66,94 @@ inline void print_series(const Series& s,
                                 "%.2f")
             << "x (flat ratio => bound shape holds)\n";
 }
+
+// ---------------------------------------------------------------------------
+// Wall-clock timing + machine-readable output (BENCH_*.json)
+// ---------------------------------------------------------------------------
+
+/// Git revision baked in by bench/CMakeLists.txt at configure time.
+inline const char* git_rev() {
+#ifdef OBLIV_GIT_REV
+  return OBLIV_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
+/// One timed execution of `fn`, in nanoseconds.
+inline double time_once_ns(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+/// Runs `fn` once untimed (warm-up), then `reps` timed repetitions, and
+/// returns the median wall-clock nanoseconds of one repetition.  Median of
+/// K is robust to the occasional scheduler hiccup a mean would smear in.
+inline double median_ns(int reps, const std::function<void()>& fn) {
+  fn();
+  std::vector<double> ns;
+  ns.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    ns.push_back(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  }
+  std::sort(ns.begin(), ns.end());
+  return ns[ns.size() / 2];
+}
+
+/// Collects one record per (workload, scheduler, threads, n) measurement and
+/// writes them as a JSON document, so the perf trajectory is trackable
+/// across PRs (compare BENCH_wallclock.json between checkouts).
+class JsonRecorder {
+ public:
+  struct Record {
+    std::string bench;
+    std::string sched;
+    unsigned threads = 1;
+    std::uint64_t n = 0;
+    double ns_per_op = 0;
+    int reps = 0;
+  };
+
+  explicit JsonRecorder(std::string path) : path_(std::move(path)) {}
+
+  void add(const std::string& bench_name, const std::string& sched,
+           unsigned threads, std::uint64_t n, double ns_per_op, int reps) {
+    records_.push_back(Record{bench_name, sched, threads, n, ns_per_op, reps});
+  }
+
+  /// Writes the collected records; returns false (and warns) on I/O error.
+  bool write() const {
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << "warning: cannot write " << path_ << "\n";
+      return false;
+    }
+    out << "{\n  \"git_rev\": \"" << git_rev() << "\",\n";
+    out << "  \"records\": [\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      out << "    {\"bench\": \"" << r.bench << "\", \"sched\": \"" << r.sched
+          << "\", \"threads\": " << r.threads << ", \"n\": " << r.n
+          << ", \"ns_per_op\": " << util::Table::fmt(r.ns_per_op, "%.1f")
+          << ", \"reps\": " << r.reps << "}"
+          << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << path_ << " (" << records_.size()
+              << " records, git_rev=" << git_rev() << ")\n";
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::vector<Record> records_;
+};
 
 }  // namespace obliv::bench

@@ -2,16 +2,282 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 
 #include "util/bits.hpp"
 
 namespace obliv::sched {
 
-struct ThreadPool::Group {
+// ---------------------------------------------------------------------------
+// WorkStealingPool
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Which pool (if any) the current thread belongs to, and its worker slot.
+/// Workers register permanently; an external caller claims slot 0 for the
+/// duration of a run_root() and restores the previous binding afterwards,
+/// so nested executors (a task that builds its own NativeExecutor) unwind
+/// correctly.
+struct TlsBinding {
+  WorkStealingPool* pool = nullptr;
+  unsigned id = 0;
+};
+thread_local TlsBinding tls_binding;
+
+std::uint64_t splitmix64(std::uint64_t& s) {
+  std::uint64_t z = (s += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+WorkStealingPool::WorkStealingPool(unsigned threads)
+    : nworkers_(threads == 0 ? 1 : threads),
+      ncores_(std::max(1u, std::thread::hardware_concurrency())) {
+  workers_.reserve(nworkers_);
+  for (unsigned i = 0; i < nworkers_; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+    workers_[i]->rng = 0x853c49e6748fea9bull + i;
+  }
+  threads_.reserve(nworkers_ > 0 ? nworkers_ - 1 : 0);
+  for (unsigned i = 1; i < nworkers_; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  stop_.store(true, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lk(idle_mu_);
+    epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+  idle_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkStealingPool::run_root(Task& root) {
+  if (tls_binding.pool == this) {
+    // Nested entry from a worker (or a recursive root call): already bound.
+    root.run();
+    return;
+  }
+  std::lock_guard<std::mutex> lk(root_mu_);
+  const TlsBinding saved = tls_binding;
+  tls_binding = TlsBinding{this, 0};
+  struct Restore {
+    const TlsBinding saved;
+    ~Restore() { tls_binding = saved; }
+  } restore{saved};
+  root.run();
+  // Structured fork/join: every task forked by root was joined before it
+  // returned, so slot 0's deque is empty again.
+  assert(workers_[0]->deque.empty());
+}
+
+void WorkStealingPool::fork(Task* t) {
+  assert(tls_binding.pool == this);
+  workers_[tls_binding.id]->deque.push_bottom(t);
+  // Wake at most a single helper; if it forks in turn it wakes the next
+  // one, so the pool ramps up as a wake chain instead of a thundering herd
+  // (one futex wake per fork instead of nworkers-1).  Wake-ups are purely a
+  // parallelism accelerator, never needed for progress: an unstolen fork is
+  // popped back by its owner at join, and a worker about to sleep re-checks
+  // for stealable work after registering as a sleeper (the Dekker pairing
+  // in notify()/idle_block()).  notify() therefore also skips the wake when
+  // as many workers are already awake as the machine has cores --
+  // oversubscribed thieves cannot add parallelism, only preemption.
+  notify(/*everyone=*/false);
+}
+
+bool WorkStealingPool::local_deque_empty() const {
+  assert(tls_binding.pool == this);
+  return workers_[tls_binding.id]->deque.empty();
+}
+
+void WorkStealingPool::execute(Task* t) {
+  t->run();
+  // Single RMW: publish completion and learn whether a joiner sleeps on it
+  // (see the Task handshake comment).  `t` may be dead past this line.
+  if (t->finish_and_check_awaited()) notify(/*everyone=*/true);
+}
+
+Task* WorkStealingPool::try_steal(unsigned self) {
+  const unsigned n = nworkers_;
+  if (n <= 1) return nullptr;
+  unsigned v = static_cast<unsigned>(splitmix64(workers_[self]->rng) % n);
+  for (unsigned k = 0; k < n; ++k, ++v) {
+    if (v >= n) v = 0;
+    if (v == self) continue;
+    if (Task* t = workers_[v]->deque.steal_top()) return t;
+  }
+  return nullptr;
+}
+
+bool WorkStealingPool::have_stealable() const {
+  for (const auto& w : workers_) {
+    if (!w->deque.empty()) return true;
+  }
+  return false;
+}
+
+void WorkStealingPool::notify(bool everyone) {
+  // Dekker pairing with idle_block(), expressed through seq_cst RMWs on
+  // sleepers_ (not fences -- GCC's TSan does not model fences): either this
+  // RMW observes the sleeper's increment and we notify, or the sleeper's
+  // increment reads-from this RMW's release sequence and its work re-check
+  // below sees the push/done-flag made visible before it.
+  const int asleep = sleepers_.fetch_add(0, std::memory_order_seq_cst);
+  if (asleep == 0) return;
+  // Saturation gate (fork wake-ups only; completions must always reach
+  // their sleeping joiner): with >= ncores workers already awake, waking
+  // another cannot increase parallelism -- it would only preempt a running
+  // worker to steal from it.  Skipping is safe per the fork() comment.
+  if (!everyone &&
+      nworkers_ - static_cast<unsigned>(asleep) >= ncores_) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(idle_mu_);
+    epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (everyone) {
+    idle_cv_.notify_all();
+  } else {
+    idle_cv_.notify_one();
+  }
+}
+
+template <class Pred>
+void WorkStealingPool::idle_block(Pred quit_early) {
+  sleepers_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::unique_lock<std::mutex> lk(idle_mu_);
+    const std::uint64_t seen = epoch_.load(std::memory_order_relaxed);
+    // Re-check after registering as a sleeper: any producer that missed us
+    // in notify_work() made its work visible before our fence, so we see
+    // it here and skip the wait.
+    if (!quit_early() && !stop_.load(std::memory_order_relaxed)) {
+      idle_cv_.wait(lk, [&] {
+        return epoch_.load(std::memory_order_relaxed) != seen ||
+               stop_.load(std::memory_order_relaxed);
+      });
+    }
+  }
+  sleepers_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void WorkStealingPool::join(Task* t) {
+  assert(tls_binding.pool == this);
+  const unsigned self = tls_binding.id;
+  auto& deque = workers_[self]->deque;
+  while (!t->finished()) {
+    // Help first: drain our own deque (descendants of the current frame),
+    // then steal; block only when the whole machine is out of work.
+    if (Task* w = deque.pop_bottom()) {
+      execute(w);
+      continue;
+    }
+    if (Task* s = try_steal(self)) {
+      execute(s);
+      continue;
+    }
+    t->mark_awaited();
+    idle_block([&] { return t->finished() || have_stealable(); });
+  }
+}
+
+void WorkStealingPool::worker_main(unsigned id) {
+  tls_binding = TlsBinding{this, id};
+  auto& deque = workers_[id]->deque;
+  for (;;) {
+    if (Task* w = deque.pop_bottom()) {
+      execute(w);
+      continue;
+    }
+    if (Task* s = try_steal(id)) {
+      execute(s);
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    idle_block([&] { return have_stealable(); });
+  }
+}
+
+namespace {
+
+/// Stack-resident task wrapping a borrowed std::function.  Forking one
+/// moves a pointer; nothing is copied or allocated.
+struct FnTask : Task {
+  explicit FnTask(const std::function<void()>* f)
+      : Task(&FnTask::invoke), fn(f) {}
+  static void invoke(Task* t) { (*static_cast<FnTask*>(t)->fn)(); }
+  const std::function<void()>* fn;
+};
+
+/// Binary fork/join over tasks[lo, hi): forks the upper half, recurses into
+/// the lower, joins.  Stack depth is O(log n); every frame's forked task
+/// outlives its join.
+void run_all_rec(WorkStealingPool& pool,
+                 const std::vector<std::function<void()>>& tasks,
+                 std::size_t lo, std::size_t hi) {
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    struct HalfTask : Task {
+      HalfTask(WorkStealingPool& p,
+               const std::vector<std::function<void()>>& ts, std::size_t l,
+               std::size_t h)
+          : Task(&HalfTask::invoke), pool(&p), tasks(&ts), lo_(l), hi_(h) {}
+      static void invoke(Task* t) {
+        auto* h = static_cast<HalfTask*>(t);
+        run_all_rec(*h->pool, *h->tasks, h->lo_, h->hi_);
+      }
+      WorkStealingPool* pool;
+      const std::vector<std::function<void()>>* tasks;
+      std::size_t lo_, hi_;
+    } upper(pool, tasks, mid, hi);
+    pool.fork(&upper);
+    run_all_rec(pool, tasks, lo, mid);
+    pool.join(&upper);
+    return;
+  }
+  if (hi > lo) tasks[lo]();
+}
+
+}  // namespace
+
+void WorkStealingPool::run_all(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (tasks.size() == 1 || nworkers_ == 1) {
+    for (auto& t : tasks) t();
+    return;
+  }
+  struct RootTask : Task {
+    RootTask(WorkStealingPool& p, const std::vector<std::function<void()>>& ts)
+        : Task(&RootTask::invoke), pool(&p), tasks(&ts) {}
+    static void invoke(Task* t) {
+      auto* r = static_cast<RootTask*>(t);
+      run_all_rec(*r->pool, *r->tasks, 0, r->tasks->size());
+    }
+    WorkStealingPool* pool;
+    const std::vector<std::function<void()>>* tasks;
+  } root(*this, tasks);
+  run_root(root);
+}
+
+// ---------------------------------------------------------------------------
+// SharedQueuePool (legacy baseline; behavior preserved from the original
+// ThreadPool so bench_wallclock measures the pre-rewrite scheduler)
+// ---------------------------------------------------------------------------
+
+struct SharedQueuePool::Group {
   std::atomic<std::size_t> pending{0};
 };
 
-ThreadPool::ThreadPool(unsigned threads) {
+SharedQueuePool::SharedQueuePool(unsigned threads) {
   if (threads == 0) threads = 1;
   // The calling thread participates, so spawn threads-1 workers.
   for (unsigned i = 1; i < threads; ++i) {
@@ -19,7 +285,7 @@ ThreadPool::ThreadPool(unsigned threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+SharedQueuePool::~SharedQueuePool() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
@@ -28,7 +294,7 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void SharedQueuePool::worker_loop() {
   for (;;) {
     Item item;
     {
@@ -46,7 +312,7 @@ void ThreadPool::worker_loop() {
   }
 }
 
-bool ThreadPool::try_run_one() {
+bool SharedQueuePool::try_run_one() {
   Item item;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -59,7 +325,7 @@ bool ThreadPool::try_run_one() {
   return true;
 }
 
-void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
+void SharedQueuePool::run_all(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
   if (tasks.size() == 1) {
     tasks[0]();
@@ -82,11 +348,106 @@ void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// NativeExecutor
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using RangeBody = std::function<void(std::uint64_t, std::uint64_t)>;
+
+/// Lazy binary splitting (the parlay idiom): peel grain-sized chunks off a
+/// range sequentially, and only when the local deque has been emptied by
+/// thieves split the remainder in half and expose the upper half.  Forked
+/// halves live on this frame's stack; recursion depth is O(log(range/floor)).
+///
+/// `floor` is the smallest half worth exposing.  Without it the empty-deque
+/// signal degenerates: a *stolen* range always starts with an empty thief
+/// deque, so every steal would immediately re-split, fragmenting the loop
+/// all the way down to `grain` no matter how many workers exist.  The call
+/// sites set floor ~ range/(8*threads), which caps a loop at ~16*threads
+/// leaf tasks -- 8x finer than eager per-thread chunking (ample slack for
+/// rebalancing) but bounded fork/notify overhead.
+void range_run(WorkStealingPool& pool, const RangeBody& body, std::uint64_t lo,
+               std::uint64_t hi, std::uint64_t grain, std::uint64_t floor);
+
+struct RangeTask : Task {
+  RangeTask(WorkStealingPool& p, const RangeBody& b, std::uint64_t l,
+            std::uint64_t h, std::uint64_t g, std::uint64_t f)
+      : Task(&RangeTask::invoke),
+        pool(&p),
+        body(&b),
+        lo(l),
+        hi(h),
+        grain(g),
+        floor(f) {}
+  static void invoke(Task* t) {
+    auto* r = static_cast<RangeTask*>(t);
+    range_run(*r->pool, *r->body, r->lo, r->hi, r->grain, r->floor);
+  }
+  WorkStealingPool* pool;
+  const RangeBody* body;
+  std::uint64_t lo, hi, grain, floor;
+};
+
+void range_run(WorkStealingPool& pool, const RangeBody& body, std::uint64_t lo,
+               std::uint64_t hi, std::uint64_t grain, std::uint64_t floor) {
+  for (;;) {
+    if (hi - lo <= grain) {
+      body(lo, hi);
+      return;
+    }
+    if (hi - lo >= 2 * floor && pool.local_deque_empty()) {
+      // A thief (or an idle worker) drained us: expose the upper half.
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      RangeTask upper(pool, body, mid, hi, grain, floor);
+      pool.fork(&upper);
+      range_run(pool, body, lo, mid, grain, floor);
+      pool.join(&upper);
+      return;
+    }
+    // Parallel slack already queued (or the remainder is below the split
+    // floor): run one grain and re-check demand.
+    body(lo, lo + grain);
+    lo += grain;
+  }
+}
+
+/// Smallest stealable half for a loop of `total` iterations: fine enough for
+/// 8x over-decomposition per *core*, never finer than the CGC grain.  The
+/// divisor is clamped by hardware_concurrency: requesting more threads than
+/// cores cannot raise real parallelism, only the number of leaves each
+/// oversubscribed thief fragments off (every steal = futex wake + context
+/// switch on a saturated machine), so extra decomposition slack for them is
+/// pure overhead.
+std::uint64_t split_floor(std::uint64_t total, std::uint64_t grain,
+                          unsigned threads) {
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned effective = std::min(threads, cores);
+  return std::max<std::uint64_t>(grain, total / (8ull * effective));
+}
+
+}  // namespace
+
 NativeExecutor::NativeExecutor(unsigned threads,
-                               std::uint64_t sequential_grain_words)
-    : pool_(threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
-                         : threads),
-      grain_(std::max<std::uint64_t>(1, sequential_grain_words)) {}
+                               std::uint64_t sequential_grain_words,
+                               SchedMode mode)
+    : grain_(std::max<std::uint64_t>(1, sequential_grain_words)) {
+  const unsigned t = threads == 0
+                         ? std::max(1u, std::thread::hardware_concurrency())
+                         : threads;
+  if (mode == SchedMode::kAuto) {
+    const char* env = std::getenv("OBLIV_SCHED");
+    mode = (env != nullptr && std::strcmp(env, "sharedq") == 0)
+               ? SchedMode::kSharedQueue
+               : SchedMode::kWorkSteal;
+  }
+  if (mode == SchedMode::kSharedQueue) {
+    sq_ = std::make_unique<SharedQueuePool>(t);
+  } else {
+    ws_ = std::make_unique<WorkStealingPool>(t);
+  }
+}
 
 void NativeExecutor::cgc_pfor(
     std::uint64_t lo, std::uint64_t hi, std::uint64_t words_per_iter,
@@ -97,33 +458,44 @@ void NativeExecutor::cgc_pfor(
   // Keep segments at or above the grain so fork overhead stays negligible --
   // the native analogue of the B_1 lower bound on CGC segment length.
   const std::uint64_t min_iters = std::max<std::uint64_t>(1, grain_ / wpi);
-  const std::uint64_t chunks = std::max<std::uint64_t>(
-      1, std::min<std::uint64_t>(pool_.threads(), util::ceil_div(t, min_iters)));
-  if (chunks == 1) {
-    body(lo, hi);
+  if (threads() == 1 || t <= min_iters) {
+    body(lo, hi);  // single chunk: no queue round-trip, no task storage
     return;
   }
-  const std::uint64_t base_len = util::ceil_div(t, chunks);
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(chunks);
-  for (std::uint64_t start = lo; start < hi; start += base_len) {
-    const std::uint64_t end = std::min(hi, start + base_len);
-    tasks.push_back([&body, start, end] { body(start, end); });
+  if (sq_) {
+    const std::uint64_t chunks = std::max<std::uint64_t>(
+        1,
+        std::min<std::uint64_t>(sq_->threads(), util::ceil_div(t, min_iters)));
+    if (chunks == 1) {
+      body(lo, hi);
+      return;
+    }
+    const std::uint64_t base_len = util::ceil_div(t, chunks);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(chunks);
+    for (std::uint64_t start = lo; start < hi; start += base_len) {
+      const std::uint64_t end = std::min(hi, start + base_len);
+      tasks.push_back([&body, start, end] { body(start, end); });
+    }
+    sq_->run_all(std::move(tasks));
+    return;
   }
-  pool_.run_all(std::move(tasks));
+  RangeTask root(*ws_, body, lo, hi, min_iters,
+                 split_floor(t, min_iters, ws_->threads()));
+  ws_->run_root(root);
 }
 
 void NativeExecutor::cgc_pfor_each(
     std::uint64_t lo, std::uint64_t hi, std::uint64_t words_per_iter,
     const std::function<void(std::uint64_t)>& body) {
-  cgc_pfor(lo, hi, words_per_iter, [&](std::uint64_t a, std::uint64_t b) {
+  cgc_pfor(lo, hi, words_per_iter, [&body](std::uint64_t a, std::uint64_t b) {
     for (std::uint64_t k = a; k < b; ++k) body(k);
   });
 }
 
 void NativeExecutor::sb_parallel(std::vector<SbTask> tasks) {
   if (tasks.empty()) return;
-  // Space bound as fork cut-off: small tasks are not worth forking.
+  // Space bound as steal cut-off: small tasks are not worth forking.
   bool all_small = true;
   for (const auto& task : tasks) {
     if (task.space_words > grain_) {
@@ -131,53 +503,134 @@ void NativeExecutor::sb_parallel(std::vector<SbTask> tasks) {
       break;
     }
   }
-  if (all_small || pool_.threads() == 1) {
+  if (all_small || threads() == 1) {
     for (auto& task : tasks) task.body();
     return;
   }
-  std::vector<std::function<void()>> fns;
-  fns.reserve(tasks.size());
-  for (auto& task : tasks) fns.push_back(std::move(task.body));
-  pool_.run_all(std::move(fns));
+  if (sq_) {
+    std::vector<std::function<void()>> fns;
+    fns.reserve(tasks.size());
+    for (auto& task : tasks) fns.push_back(std::move(task.body));
+    sq_->run_all(std::move(fns));
+    return;
+  }
+  // Fork every above-grain task (LIFO join order); below-grain tasks run on
+  // the forking core -- they are anchored at the private cache and never
+  // made stealable.  Linear recursion keeps each forked Task alive on the
+  // stack until its join; sb_parallel fan-outs are small (quadrant forks).
+  struct SbRun : Task {
+    SbRun(WorkStealingPool& p, std::vector<SbTask>& ts, std::uint64_t g)
+        : Task(&SbRun::invoke), pool(&p), tasks(&ts), grain(g) {}
+    static void invoke(Task* t) {
+      auto* r = static_cast<SbRun*>(t);
+      r->run_from(0);
+    }
+    void run_from(std::size_t i) {
+      if (i == tasks->size()) return;
+      SbTask& cur = (*tasks)[i];
+      if (cur.space_words > grain) {
+        FnTask forked(&cur.body);
+        pool->fork(&forked);
+        run_from(i + 1);
+        pool->join(&forked);
+      } else {
+        cur.body();
+        run_from(i + 1);
+      }
+    }
+    WorkStealingPool* pool;
+    std::vector<SbTask>* tasks;
+    std::uint64_t grain;
+  } root(*ws_, tasks, grain_);
+  ws_->run_root(root);
 }
 
 void NativeExecutor::sb_parallel2(std::uint64_t space1,
                                   const std::function<void()>& f1,
                                   std::uint64_t space2,
                                   const std::function<void()>& f2) {
-  std::vector<SbTask> tasks;
-  tasks.push_back(SbTask{space1, f1});
-  tasks.push_back(SbTask{space2, f2});
-  sb_parallel(std::move(tasks));
+  if (threads() == 1 || (space1 <= grain_ && space2 <= grain_)) {
+    f1();
+    f2();
+    return;
+  }
+  if (sq_) {
+    std::vector<SbTask> tasks;
+    tasks.push_back(SbTask{space1, f1});
+    tasks.push_back(SbTask{space2, f2});
+    sb_parallel(std::move(tasks));
+    return;
+  }
+  // The recursive fork/join hot path: one stack Task, zero allocations.
+  struct Pair2 : Task {
+    Pair2(WorkStealingPool& p, const std::function<void()>& a,
+          const std::function<void()>& b, bool fork_second)
+        : Task(&Pair2::invoke), pool(&p), fa(&a), fb(&b), fork_b(fork_second) {}
+    static void invoke(Task* t) {
+      auto* r = static_cast<Pair2*>(t);
+      const std::function<void()>& forked = r->fork_b ? *r->fb : *r->fa;
+      const std::function<void()>& inline_fn = r->fork_b ? *r->fa : *r->fb;
+      FnTask child(&forked);
+      r->pool->fork(&child);
+      inline_fn();
+      r->pool->join(&child);
+    }
+    WorkStealingPool* pool;
+    const std::function<void()>* fa;
+    const std::function<void()>* fb;
+    bool fork_b;
+  // Fork whichever side is above the grain (prefer the second so the first
+  // runs in program order on this core); a below-grain sibling stays local.
+  } root(*ws_, f1, f2, /*fork_second=*/space2 > grain_);
+  ws_->run_root(root);
 }
 
 void NativeExecutor::cgc_sb_pfor(
     std::uint64_t count, std::uint64_t space_words,
     const std::function<void(std::uint64_t)>& body) {
   if (count == 0) return;
-  if (space_words <= grain_ || pool_.threads() == 1) {
-    // Batch subtasks per thread to keep fork overhead sublinear.
-    const std::uint64_t chunks =
-        std::min<std::uint64_t>(pool_.threads(), count);
-    const std::uint64_t per = util::ceil_div(count, chunks);
-    std::vector<std::function<void()>> tasks;
-    for (std::uint64_t c = 0; c < chunks; ++c) {
-      const std::uint64_t s_lo = c * per;
-      const std::uint64_t s_hi = std::min(count, (c + 1) * per);
-      if (s_lo >= s_hi) break;
-      tasks.push_back([&body, s_lo, s_hi] {
-        for (std::uint64_t s = s_lo; s < s_hi; ++s) body(s);
-      });
-    }
-    pool_.run_all(std::move(tasks));
+  // CGC=>SB: `count` equal subtasks of `space_words` each.  Natively the
+  // space bound sets the steal granularity -- at least ceil(grain/space)
+  // subtasks per stealable unit, so a batch always covers one private
+  // cache's worth of data (the anchoring analogue).
+  const std::uint64_t per_unit =
+      std::max<std::uint64_t>(1, grain_ / std::max<std::uint64_t>(1, space_words));
+  if (threads() == 1 || count <= per_unit) {
+    for (std::uint64_t s = 0; s < count; ++s) body(s);
     return;
   }
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(count);
-  for (std::uint64_t s = 0; s < count; ++s) {
-    tasks.push_back([&body, s] { body(s); });
+  if (sq_) {
+    if (space_words <= grain_) {
+      // Batch subtasks per thread to keep fork overhead sublinear.
+      const std::uint64_t chunks =
+          std::min<std::uint64_t>(sq_->threads(), count);
+      const std::uint64_t per = util::ceil_div(count, chunks);
+      std::vector<std::function<void()>> tasks;
+      for (std::uint64_t c = 0; c < chunks; ++c) {
+        const std::uint64_t s_lo = c * per;
+        const std::uint64_t s_hi = std::min(count, (c + 1) * per);
+        if (s_lo >= s_hi) break;
+        tasks.push_back([&body, s_lo, s_hi] {
+          for (std::uint64_t s = s_lo; s < s_hi; ++s) body(s);
+        });
+      }
+      sq_->run_all(std::move(tasks));
+      return;
+    }
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(count);
+    for (std::uint64_t s = 0; s < count; ++s) {
+      tasks.push_back([&body, s] { body(s); });
+    }
+    sq_->run_all(std::move(tasks));
+    return;
   }
-  pool_.run_all(std::move(tasks));
+  const RangeBody range_body = [&body](std::uint64_t a, std::uint64_t b) {
+    for (std::uint64_t s = a; s < b; ++s) body(s);
+  };
+  RangeTask root(*ws_, range_body, 0, count, per_unit,
+                 split_floor(count, per_unit, ws_->threads()));
+  ws_->run_root(root);
 }
 
 }  // namespace obliv::sched

@@ -5,9 +5,24 @@
 // hint-based schedule is executable on a real multicore.  The executor is
 // itself multicore-oblivious: it only uses the number of worker threads (a
 // run-time resource, not an algorithm parameter) and treats space-bound
-// hints as fork cut-offs -- a task whose space bound is below a
-// grain threshold runs sequentially, which is the native analogue of
-// anchoring at a private cache.
+// hints as *steal cut-offs* -- a task whose space bound is below the grain
+// threshold is never made stealable and runs on the forking core, which is
+// the native analogue of anchoring at a private cache.
+//
+// Two scheduler backends share the public interface:
+//
+//   * WorkStealingPool (default) -- one Chase-Lev deque per worker; the
+//     owner forks/joins through its own deque under relaxed atomics, idle
+//     workers steal FIFO and *block* when the machine is saturated.  CGC
+//     loops use lazy binary splitting: a range peels grain-sized chunks
+//     sequentially and only splits in half when the local deque has been
+//     emptied by thieves.  Forked tasks live on the forking frame's stack,
+//     so dispatch performs no heap allocation.
+//   * SharedQueuePool -- the original single mutex + condvar queue with one
+//     heap-allocated std::function per task and eager pre-chunking.  Kept
+//     as the measured baseline (bench_wallclock `sched=sharedq` rows).
+//
+// Select with the constructor argument or OBLIV_SCHED=sharedq|steal.
 #pragma once
 
 #include <atomic>
@@ -15,11 +30,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "sched/hints.hpp"
+#include "sched/ws_deque.hpp"
 
 namespace obliv::sched {
 
@@ -28,15 +45,121 @@ class NatRef;
 template <class T>
 class NatBuf;
 
-/// A simple shared-queue fork-join pool.  Waiting threads help execute
-/// pending tasks, so nested parallelism cannot deadlock.
-class ThreadPool {
+/// A stealable unit of work.  Instances live on the stack of the forking
+/// function (structured fork/join: the parent joins every child before its
+/// frame dies), so scheduling a Task moves one pointer -- no allocation, no
+/// std::function, no virtual dispatch (a plain function pointer selects the
+/// concrete body).
+class Task {
  public:
-  explicit ThreadPool(unsigned threads);
-  ~ThreadPool();
+  using RunFn = void (*)(Task*);
 
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
+  explicit Task(RunFn run_fn) : run_(run_fn) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  void run() { run_(this); }
+  bool finished() const {
+    return state_.load(std::memory_order_acquire) == kDone;
+  }
+
+  // Completion / sleeping-joiner handshake, folded into one atomic word so
+  // the finisher never touches the Task after completion is visible (the
+  // joiner may pop its stack frame the instant it observes kDone).  The
+  // joiner CASes kRunning -> kAwaited before sleeping; the finisher's
+  // exchange to kDone atomically publishes completion *and* reads whether a
+  // joiner registered.  The RMWs totally order the two: either the CAS came
+  // first (exchange returns kAwaited -> wake the joiner) or the exchange
+  // came first (the CAS fails, the joiner sees kDone and never sleeps).
+  // Tasks nobody sleeps on -- the vast majority -- complete silently.
+  void mark_awaited() {
+    std::uint8_t expected = kRunning;
+    state_.compare_exchange_strong(expected, kAwaited,
+                                   std::memory_order_seq_cst);
+  }
+  /// Publishes completion; true if a joiner is (or may be) asleep on it.
+  /// The Task may be destroyed by its joiner as soon as this returns.
+  bool finish_and_check_awaited() {
+    return state_.exchange(kDone, std::memory_order_seq_cst) == kAwaited;
+  }
+
+ private:
+  static constexpr std::uint8_t kRunning = 0, kAwaited = 1, kDone = 2;
+  RunFn run_;
+  std::atomic<std::uint8_t> state_{kRunning};
+};
+
+/// Work-stealing fork/join pool.  The constructing program's calling thread
+/// participates as worker 0 whenever it enters through run_root(); the pool
+/// spawns threads-1 std::threads for the remaining slots.
+class WorkStealingPool {
+ public:
+  explicit WorkStealingPool(unsigned threads);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  unsigned threads() const { return nworkers_; }
+
+  /// Runs `root` on the calling thread, registering it as worker 0 if it is
+  /// not already a pool worker.  Concurrent external callers serialize.
+  void run_root(Task& root);
+
+  /// Pushes `t` onto the current worker's deque (caller must be inside
+  /// run_root or a worker).  `t` must outlive the matching join().
+  void fork(Task* t);
+
+  /// Blocks until `t` completes, draining the local deque and stealing
+  /// while it waits; sleeps (no spin-yield) only when there is nothing to
+  /// help with.
+  void join(Task* t);
+
+  /// True when the current worker's deque has been emptied by thieves --
+  /// the lazy-splitting signal that more parallelism is profitable.
+  bool local_deque_empty() const;
+
+  /// Convenience used by tests and sb_parallel: fork-join a task vector.
+  void run_all(std::vector<std::function<void()>> tasks);
+
+ private:
+  struct Worker {
+    WsDeque<Task*> deque;
+    std::uint64_t rng;  // victim-selection state, owner-only
+  };
+
+  void worker_main(unsigned id);
+  void execute(Task* t);
+  Task* try_steal(unsigned self);
+  bool have_stealable() const;
+  void notify(bool everyone);
+  template <class Pred>
+  void idle_block(Pred quit_early);
+
+  unsigned nworkers_;
+  unsigned ncores_;  // hardware_concurrency, >= 1; see notify()
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex root_mu_;  // serializes external (non-worker) entrants
+
+  // Eventcount for blocking idle workers and joiners.
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<int> sleepers_{0};
+  std::atomic<bool> stop_{false};
+};
+
+/// The original shared-queue fork-join pool (single mutex + condition
+/// variable, spin-yield join).  Retained as the benchmark baseline; see the
+/// header comment.
+class SharedQueuePool {
+ public:
+  explicit SharedQueuePool(unsigned threads);
+  ~SharedQueuePool();
+
+  SharedQueuePool(const SharedQueuePool&) = delete;
+  SharedQueuePool& operator=(const SharedQueuePool&) = delete;
 
   unsigned threads() const { return workers_.size() + 1; }
 
@@ -60,13 +183,26 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// Which fork/join substrate NativeExecutor schedules on.
+enum class SchedMode {
+  kAuto,         ///< OBLIV_SCHED env var; defaults to work stealing
+  kWorkSteal,    ///< per-worker deques, lazy splitting (default)
+  kSharedQueue,  ///< legacy global-queue baseline
+};
+
 class NativeExecutor {
  public:
   /// threads == 0 selects std::thread::hardware_concurrency().
   explicit NativeExecutor(unsigned threads = 0,
-                          std::uint64_t sequential_grain_words = 1 << 12);
+                          std::uint64_t sequential_grain_words = 1 << 12,
+                          SchedMode mode = SchedMode::kAuto);
 
-  unsigned threads() const { return pool_.threads(); }
+  unsigned threads() const {
+    return ws_ ? ws_->threads() : sq_->threads();
+  }
+
+  /// True when scheduling on the work-stealing backend.
+  bool work_stealing() const { return ws_ != nullptr; }
 
   template <class T>
   NatBuf<T> make_buf(std::size_t n);
@@ -96,7 +232,8 @@ class NativeExecutor {
   void tick(std::uint64_t) {}
 
  private:
-  ThreadPool pool_;
+  std::unique_ptr<WorkStealingPool> ws_;
+  std::unique_ptr<SharedQueuePool> sq_;
   std::uint64_t grain_;
 };
 

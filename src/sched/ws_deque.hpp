@@ -1,0 +1,126 @@
+// Chase-Lev work-stealing deque over a growable circular array.
+//
+// One deque per worker: the owner pushes and pops at the *bottom* (LIFO, so
+// the hot fork/join path stays in-cache and needs no CAS in the common
+// case), thieves steal from the *top* (FIFO, so they take the oldest --
+// largest -- pending range task).  The element type is a plain pointer:
+// tasks live on the forking thread's stack (structured fork/join guarantees
+// the parent's frame outlives the child), so the deque never owns or
+// allocates task storage.
+//
+// Memory orders follow Le, Pop, Cocchi & Shpeisman, "Correct and Efficient
+// Work-Stealing for Weak Memory Models" (PPoPP'13), with the Dekker-style
+// seq_cst fences expressed as seq_cst accesses on `top_`/`bottom_` so the
+// synchronization is visible to ThreadSanitizer exactly as written.
+//
+// Grown buffers are retired, not freed, until the deque is destroyed: a
+// thief that loaded the old array pointer may still read a slot from it,
+// and the subsequent CAS on `top_` decides whether that read was valid.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace obliv::sched {
+
+template <class T>
+class WsDeque {
+  static_assert(std::is_pointer_v<T>, "WsDeque stores task pointers");
+
+ public:
+  explicit WsDeque(std::size_t capacity = 256)
+      : buf_(new Buffer(capacity)) {}
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  ~WsDeque() { delete buf_.load(std::memory_order_relaxed); }
+
+  /// Owner only.  Makes `x` visible to thieves.
+  void push_bottom(T x) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* a = buf_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(a->mask)) a = grow(a, b, t);
+    a->at(b).store(x, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only.  Returns nullptr when the deque is empty (or a thief won
+  /// the race for the last element).
+  T pop_bottom() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* a = buf_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    T x = nullptr;
+    if (t <= b) {
+      x = a->at(b).load(std::memory_order_relaxed);
+      if (t == b) {
+        // Last element: race the thieves through a CAS on top_.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          x = nullptr;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return x;
+  }
+
+  /// Any thread.  Returns nullptr when empty or when the CAS race is lost;
+  /// callers treat both as "try another victim".
+  T steal_top() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Buffer* a = buf_.load(std::memory_order_acquire);
+    T x = a->at(t).load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return x;
+  }
+
+  /// Approximate; exact when called by the owner between its own ops.
+  bool empty() const {
+    return bottom_.load(std::memory_order_relaxed) <=
+           top_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t capacity)
+        : mask(capacity - 1), slots(new std::atomic<T>[capacity]) {}
+    std::atomic<T>& at(std::int64_t i) {
+      return slots[static_cast<std::size_t>(i) & mask];
+    }
+    const std::size_t mask;  // capacity - 1; capacity is a power of two
+    std::unique_ptr<std::atomic<T>[]> slots;
+  };
+
+  Buffer* grow(Buffer* old, std::int64_t b, std::int64_t t) {
+    auto* bigger = new Buffer(2 * (old->mask + 1));
+    for (std::int64_t i = t; i < b; ++i) {
+      bigger->at(i).store(old->at(i).load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    }
+    buf_.store(bigger, std::memory_order_release);
+    retired_.emplace_back(old);  // in-flight thieves may still read it
+    return bigger;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Buffer*> buf_;
+  std::vector<std::unique_ptr<Buffer>> retired_;  // owner-only
+};
+
+}  // namespace obliv::sched

@@ -3,16 +3,87 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <functional>
 #include <numeric>
+#include <thread>
 #include <vector>
 
+#include "sched/ws_deque.hpp"
 #include "util/rng.hpp"
 
 namespace obliv::sched {
 namespace {
 
-TEST(ThreadPool, RunsAllTasks) {
-  ThreadPool pool(4);
+// ---------------------------------------------------------------------------
+// WsDeque
+// ---------------------------------------------------------------------------
+
+TEST(WsDeque, OwnerLifoThiefFifo) {
+  WsDeque<int*> dq(4);  // small capacity: exercises grow()
+  int vals[100];
+  for (int i = 0; i < 100; ++i) dq.push_bottom(&vals[i]);
+  EXPECT_EQ(dq.steal_top(), &vals[0]);   // FIFO from the top
+  EXPECT_EQ(dq.pop_bottom(), &vals[99]);  // LIFO from the bottom
+  EXPECT_EQ(dq.steal_top(), &vals[1]);
+  EXPECT_EQ(dq.pop_bottom(), &vals[98]);
+  for (int i = 0; i < 96; ++i) EXPECT_NE(dq.pop_bottom(), nullptr);
+  EXPECT_EQ(dq.pop_bottom(), nullptr);
+  EXPECT_TRUE(dq.empty());
+}
+
+TEST(WsDeque, EveryElementTakenExactlyOnceUnderConcurrentSteals) {
+  constexpr int kN = 20000;
+  WsDeque<int*> dq(8);
+  std::vector<int> vals(kN);
+  std::vector<std::atomic<int>> taken(kN);
+  for (auto& t : taken) t.store(0);
+  for (int i = 0; i < kN; ++i) vals[i] = i;
+
+  std::atomic<bool> go{false};
+  std::atomic<int> total{0};
+  auto thief = [&] {
+    while (!go.load()) {
+    }
+    for (;;) {
+      if (int* p = dq.steal_top()) {
+        taken[*p].fetch_add(1, std::memory_order_relaxed);
+        total.fetch_add(1, std::memory_order_acq_rel);
+      } else if (total.load(std::memory_order_acquire) == kN) {
+        return;
+      }
+    }
+  };
+  std::thread t1(thief), t2(thief);
+  go.store(true);
+  // Owner interleaves pushes and pops.
+  int pushed = 0;
+  while (pushed < kN) {
+    for (int burst = 0; burst < 64 && pushed < kN; ++burst) {
+      dq.push_bottom(&vals[pushed++]);
+    }
+    if (int* p = dq.pop_bottom()) {
+      taken[*p].fetch_add(1, std::memory_order_relaxed);
+      total.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+  while (total.load(std::memory_order_acquire) != kN) {
+    if (int* p = dq.pop_bottom()) {
+      taken[*p].fetch_add(1, std::memory_order_relaxed);
+      total.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+  t1.join();
+  t2.join();
+  for (int i = 0; i < kN; ++i) ASSERT_EQ(taken[i].load(), 1) << i;
+}
+
+// ---------------------------------------------------------------------------
+// WorkStealingPool
+// ---------------------------------------------------------------------------
+
+TEST(WorkStealingPool, RunsAllTasks) {
+  WorkStealingPool pool(4);
   std::atomic<int> count{0};
   std::vector<std::function<void()>> tasks;
   for (int t = 0; t < 100; ++t) {
@@ -22,8 +93,8 @@ TEST(ThreadPool, RunsAllTasks) {
   EXPECT_EQ(count.load(), 100);
 }
 
-TEST(ThreadPool, NestedParallelismDoesNotDeadlock) {
-  ThreadPool pool(2);  // fewer threads than nested groups
+TEST(WorkStealingPool, NestedParallelismDoesNotDeadlock) {
+  WorkStealingPool pool(2);  // fewer threads than nested groups
   std::atomic<int> leaves{0};
   std::vector<std::function<void()>> outer;
   for (int t = 0; t < 8; ++t) {
@@ -40,15 +111,63 @@ TEST(ThreadPool, NestedParallelismDoesNotDeadlock) {
   EXPECT_EQ(leaves.load(), 64);
 }
 
-TEST(ThreadPool, SingleThreadStillWorks) {
-  ThreadPool pool(1);
+TEST(WorkStealingPool, SingleThreadStillWorks) {
+  WorkStealingPool pool(1);
   int x = 0;
   pool.run_all({[&] { x = 1; }, [&] { x += 2; }});
   EXPECT_EQ(x, 3);
 }
 
-TEST(NativeExecutor, PforCoversRangeOnceUnderContention) {
-  NativeExecutor ex(4, /*grain=*/64);
+TEST(WorkStealingPool, RepeatedRootEntriesReuseSleepingWorkers) {
+  WorkStealingPool pool(4);
+  for (int round = 0; round < 300; ++round) {
+    std::atomic<int> n{0};
+    std::vector<std::function<void()>> tasks;
+    for (int t = 0; t < 16; ++t) {
+      tasks.push_back([&] { n.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.run_all(std::move(tasks));
+    ASSERT_EQ(n.load(), 16) << "round " << round;
+  }
+}
+
+// The legacy shared-queue baseline must keep working: bench_wallclock
+// measures the rewrite against it.
+TEST(SharedQueuePool, RunsAllTasksAndNests) {
+  SharedQueuePool pool(3);
+  std::atomic<int> leaves{0};
+  std::vector<std::function<void()>> outer;
+  for (int t = 0; t < 4; ++t) {
+    outer.push_back([&] {
+      std::vector<std::function<void()>> inner;
+      for (int s = 0; s < 4; ++s) {
+        inner.push_back(
+            [&] { leaves.fetch_add(1, std::memory_order_relaxed); });
+      }
+      pool.run_all(std::move(inner));
+    });
+  }
+  pool.run_all(std::move(outer));
+  EXPECT_EQ(leaves.load(), 16);
+}
+
+// ---------------------------------------------------------------------------
+// NativeExecutor -- parameterized over both scheduler backends.
+// ---------------------------------------------------------------------------
+
+class NativeExecutorBothSched : public ::testing::TestWithParam<SchedMode> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, NativeExecutorBothSched,
+                         ::testing::Values(SchedMode::kWorkSteal,
+                                           SchedMode::kSharedQueue),
+                         [](const auto& param_info) {
+                           return param_info.param == SchedMode::kWorkSteal
+                                      ? "WorkSteal"
+                                      : "SharedQueue";
+                         });
+
+TEST_P(NativeExecutorBothSched, PforCoversRangeOnceUnderContention) {
+  NativeExecutor ex(4, /*grain=*/64, GetParam());
   const std::size_t n = 100000;
   std::vector<std::atomic<int>> hits(n);
   for (auto& h : hits) h.store(0);
@@ -62,10 +181,10 @@ TEST(NativeExecutor, PforCoversRangeOnceUnderContention) {
   }
 }
 
-TEST(NativeExecutor, SmallTasksRunInline) {
+TEST_P(NativeExecutorBothSched, SmallTasksRunInline) {
   // Tasks below the grain run sequentially on the calling thread: result
   // identical, no fork.
-  NativeExecutor ex(4, /*grain=*/1 << 20);
+  NativeExecutor ex(4, /*grain=*/1 << 20, GetParam());
   int order = 0;
   ex.sb_parallel2(
       10, [&] { EXPECT_EQ(order++, 0); },  // sequential => ordered
@@ -73,8 +192,46 @@ TEST(NativeExecutor, SmallTasksRunInline) {
   EXPECT_EQ(order, 2);
 }
 
-TEST(NativeExecutor, CgcSbPforExecutesEveryTask) {
-  NativeExecutor ex(3, 8);
+TEST_P(NativeExecutorBothSched, SingleChunkPforRunsInlineOnCallingThread) {
+  // A range that collapses to one chunk must not round-trip the queue.
+  NativeExecutor ex(4, /*grain=*/1 << 12, GetParam());
+  const auto caller = std::this_thread::get_id();
+  int calls = 0;
+  ex.cgc_pfor(0, 100, 1, [&](std::uint64_t a, std::uint64_t b) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 100u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  // Same for CGC=>SB when all subtasks fit one grain batch.
+  int sb_calls = 0;
+  ex.cgc_sb_pfor(8, /*space=*/16, [&](std::uint64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++sb_calls;
+  });
+  EXPECT_EQ(sb_calls, 8);
+}
+
+TEST_P(NativeExecutorBothSched, OneThreadExecutorRunsEverythingInline) {
+  NativeExecutor ex(1, /*grain=*/1, GetParam());
+  const auto caller = std::this_thread::get_id();
+  std::uint64_t sum = 0;
+  ex.cgc_pfor(0, 5000, 1, [&](std::uint64_t a, std::uint64_t b) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    for (std::uint64_t k = a; k < b; ++k) sum += k;
+  });
+  EXPECT_EQ(sum, 5000ull * 4999 / 2);
+  std::uint64_t hits = 0;
+  ex.cgc_sb_pfor(1000, 1 << 20, [&](std::uint64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++hits;
+  });
+  EXPECT_EQ(hits, 1000u);
+}
+
+TEST_P(NativeExecutorBothSched, CgcSbPforExecutesEveryTask) {
+  NativeExecutor ex(3, 8, GetParam());
   std::vector<std::atomic<int>> hits(500);
   for (auto& h : hits) h.store(0);
   ex.cgc_sb_pfor(hits.size(), 1 << 16, [&](std::uint64_t s) {
@@ -83,8 +240,8 @@ TEST(NativeExecutor, CgcSbPforExecutesEveryTask) {
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
-TEST(NativeExecutor, DeepRecursiveForkJoin) {
-  NativeExecutor ex(4, 1);
+TEST_P(NativeExecutorBothSched, DeepRecursiveForkJoin) {
+  NativeExecutor ex(4, 1, GetParam());
   std::atomic<std::uint64_t> sum{0};
   // Binary recursion summing 1..1024 via leaf tasks.
   std::function<void(std::uint64_t, std::uint64_t)> rec =
@@ -101,8 +258,8 @@ TEST(NativeExecutor, DeepRecursiveForkJoin) {
   EXPECT_EQ(sum.load(), 1024u * 1025 / 2);
 }
 
-TEST(NativeExecutor, StressRepeatedParallelSections) {
-  NativeExecutor ex(4, 1);
+TEST_P(NativeExecutorBothSched, StressRepeatedParallelSections) {
+  NativeExecutor ex(4, 1, GetParam());
   for (int round = 0; round < 200; ++round) {
     std::atomic<int> n{0};
     std::vector<SbTask> tasks;
@@ -113,6 +270,37 @@ TEST(NativeExecutor, StressRepeatedParallelSections) {
     ex.sb_parallel(std::move(tasks));
     ASSERT_EQ(n.load(), 8) << "round " << round;
   }
+}
+
+TEST(NativeExecutor, MixedSpaceBoundsKeepSmallTasksLocal) {
+  // Below-grain siblings of an above-grain task still run (on some thread),
+  // exactly once each.
+  NativeExecutor ex(4, /*grain=*/1 << 10, SchedMode::kWorkSteal);
+  std::atomic<int> big{0}, small{0};
+  std::vector<SbTask> tasks;
+  tasks.push_back(
+      SbTask{1 << 20, [&] { big.fetch_add(1, std::memory_order_relaxed); }});
+  for (int i = 0; i < 6; ++i) {
+    tasks.push_back(
+        SbTask{8, [&] { small.fetch_add(1, std::memory_order_relaxed); }});
+  }
+  tasks.push_back(
+      SbTask{1 << 20, [&] { big.fetch_add(1, std::memory_order_relaxed); }});
+  ex.sb_parallel(std::move(tasks));
+  EXPECT_EQ(big.load(), 2);
+  EXPECT_EQ(small.load(), 6);
+}
+
+TEST(NativeExecutor, EnvVarSelectsSharedQueueBackend) {
+  ::setenv("OBLIV_SCHED", "sharedq", 1);
+  NativeExecutor legacy(2);
+  EXPECT_FALSE(legacy.work_stealing());
+  ::setenv("OBLIV_SCHED", "steal", 1);
+  NativeExecutor ws(2);
+  EXPECT_TRUE(ws.work_stealing());
+  ::unsetenv("OBLIV_SCHED");
+  NativeExecutor dflt(2);
+  EXPECT_TRUE(dflt.work_stealing());
 }
 
 }  // namespace

@@ -1,0 +1,127 @@
+// Standalone ThreadSanitizer harness for the work-stealing scheduler.
+//
+// Built as `obliv_sched_tsan` with -fsanitize=thread applied to exactly this
+// translation unit plus native_executor.cpp (everything else it touches is
+// header-only), so the tier-1 ctest flow races the scheduler under TSan on
+// every run without instrumenting the whole build.  Any data race aborts
+// the process (halt_on_error) -- races fail loudly, not flakily.
+//
+// The scenarios mirror test_native_executor.cpp / test_sched_stress.cpp:
+// deque-level churn, deep nested sb_parallel with concurrent cgc_pfor from
+// sibling tasks, and repeated root entries against sleeping workers.
+//
+// A full TSan build of the whole suite is available via
+//   cmake -B build-tsan -S . -DOBLIV_SANITIZE=thread
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "sched/native_executor.hpp"
+#include "sched/ws_deque.hpp"
+
+namespace {
+
+int failures = 0;
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    ++failures;
+  }
+}
+
+void deque_churn() {
+  obliv::sched::WsDeque<int*> dq(8);
+  constexpr int kN = 50000;
+  std::vector<int> vals(kN);
+  std::atomic<long> sum{0};
+  std::atomic<int> taken{0};
+  for (int i = 0; i < kN; ++i) vals[i] = i;
+  auto thief = [&] {
+    for (;;) {
+      if (int* p = dq.steal_top()) {
+        sum.fetch_add(*p, std::memory_order_relaxed);
+        taken.fetch_add(1, std::memory_order_acq_rel);
+      } else if (taken.load(std::memory_order_acquire) == kN) {
+        return;
+      }
+    }
+  };
+  std::thread t1(thief), t2(thief), t3(thief);
+  int pushed = 0;
+  while (pushed < kN) {
+    for (int burst = 0; burst < 32 && pushed < kN; ++burst) {
+      dq.push_bottom(&vals[pushed++]);
+    }
+    if (int* p = dq.pop_bottom()) {
+      sum.fetch_add(*p, std::memory_order_relaxed);
+      taken.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+  while (taken.load(std::memory_order_acquire) != kN) {
+    if (int* p = dq.pop_bottom()) {
+      sum.fetch_add(*p, std::memory_order_relaxed);
+      taken.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+  t1.join();
+  t2.join();
+  t3.join();
+  check(sum.load() == static_cast<long>(kN) * (kN - 1) / 2,
+        "deque_churn: every element taken exactly once");
+}
+
+void nested_storm(obliv::sched::NativeExecutor& ex, std::uint64_t lo,
+                  std::uint64_t hi, std::vector<std::atomic<int>>& hits) {
+  if (hi - lo <= 4) {
+    ex.cgc_pfor(lo, hi, 1, [&](std::uint64_t a, std::uint64_t b) {
+      for (std::uint64_t k = a; k < b; ++k) {
+        hits[k].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    return;
+  }
+  const std::uint64_t mid = lo + (hi - lo) / 2;
+  const std::uint64_t space = (hi - lo) * 8;
+  ex.sb_parallel2(space, [&] { nested_storm(ex, lo, mid, hits); },
+                  space, [&] { nested_storm(ex, mid, hi, hits); });
+}
+
+void executor_storm() {
+  obliv::sched::NativeExecutor ex(4, /*grain=*/1,
+                                  obliv::sched::SchedMode::kWorkSteal);
+  const std::uint64_t n = 1 << 11;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  nested_storm(ex, 0, n, hits);
+  bool once = true;
+  for (auto& h : hits) once = once && h.load() == 1;
+  check(once, "executor_storm: every index hit exactly once");
+}
+
+void repeated_roots() {
+  obliv::sched::NativeExecutor ex(8, /*grain=*/4,
+                                  obliv::sched::SchedMode::kWorkSteal);
+  std::uint64_t total = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<std::uint64_t> cnt{0};
+    ex.cgc_pfor(0, 256, 1, [&](std::uint64_t a, std::uint64_t b) {
+      cnt.fetch_add(b - a, std::memory_order_relaxed);
+    });
+    total += cnt.load();
+  }
+  check(total == 200ull * 256, "repeated_roots: no lost iterations");
+}
+
+}  // namespace
+
+int main() {
+  deque_churn();
+  executor_storm();
+  repeated_roots();
+  if (failures == 0) std::printf("obliv_sched_tsan: all scenarios passed\n");
+  return failures == 0 ? 0 : 1;
+}
