@@ -1,0 +1,228 @@
+// Frozen copy of the pre-optimization HM cache simulator (the seed
+// implementation, std::unordered_map keyed), vendored verbatim so that
+// bench_simrate can race the current hm::CacheSim against it head-to-head
+// in one process: both replay the identical access trace with interleaved
+// repetitions, so ambient load hits both series equally and the reported
+// speedup is meaningful on a noisy host.  The bench also cross-checks that
+// both simulators produce bit-identical miss / eviction / invalidation /
+// ping-pong counters on every trace, which is the semantic contract the
+// optimized simulator must keep (see tests/test_golden_counters.cpp).
+//
+// Do not "fix" or modernize this file: its value is being the unchanged
+// reference point.  It tracks the simulator as of the work-stealing PR
+// (pre fast-path rewrite).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hm/cache_sim.hpp"  // for hm::CacheCounters
+#include "hm/config.hpp"
+
+namespace obliv::bench {
+
+/// Fully-associative LRU cache over abstract block ids (seed version).
+class BaselineLruCache {
+ public:
+  explicit BaselineLruCache(std::size_t lines) : lines_(lines) {
+    assert(lines_ > 0);
+    map_.reserve(lines_ * 2);
+  }
+
+  bool touch(std::uint64_t block) {
+    last_evicted_ = ~0ull;
+    auto it = map_.find(block);
+    if (it != map_.end()) {
+      const std::uint32_t idx = it->second;
+      if (head_ != idx) {
+        unlink(idx);
+        push_front(idx);
+      }
+      return true;
+    }
+    std::uint32_t idx;
+    if (map_.size() >= lines_) {
+      idx = tail_;
+      last_evicted_ = nodes_[idx].block;
+      map_.erase(nodes_[idx].block);
+      unlink(idx);
+    } else if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+    } else {
+      idx = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.push_back(Node{});
+    }
+    nodes_[idx].block = block;
+    push_front(idx);
+    map_.emplace(block, idx);
+    return false;
+  }
+
+  bool erase(std::uint64_t block) {
+    auto it = map_.find(block);
+    if (it == map_.end()) return false;
+    const std::uint32_t idx = it->second;
+    unlink(idx);
+    free_.push_back(idx);
+    map_.erase(it);
+    return true;
+  }
+
+  std::uint64_t last_evicted() const { return last_evicted_; }
+
+  void clear() {
+    map_.clear();
+    nodes_.clear();
+    free_.clear();
+    head_ = tail_ = kNil;
+    last_evicted_ = ~0ull;
+  }
+
+ private:
+  struct Node {
+    std::uint64_t block;
+    std::uint32_t prev, next;
+  };
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  void unlink(std::uint32_t idx) {
+    Node& n = nodes_[idx];
+    if (n.prev != kNil) {
+      nodes_[n.prev].next = n.next;
+    } else {
+      head_ = n.next;
+    }
+    if (n.next != kNil) {
+      nodes_[n.next].prev = n.prev;
+    } else {
+      tail_ = n.prev;
+    }
+  }
+
+  void push_front(std::uint32_t idx) {
+    Node& n = nodes_[idx];
+    n.prev = kNil;
+    n.next = head_;
+    if (head_ != kNil) nodes_[head_].prev = idx;
+    head_ = idx;
+    if (tail_ == kNil) tail_ = idx;
+  }
+
+  std::size_t lines_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_;
+  std::unordered_map<std::uint64_t, std::uint32_t> map_;
+  std::uint32_t head_ = kNil, tail_ = kNil;
+  std::uint64_t last_evicted_ = ~0ull;
+};
+
+/// The seed whole-hierarchy simulator (same observable counters as
+/// hm::CacheSim; one hash-map probe per level per block touch plus one
+/// sharer-map probe per block touch on multicore configs).
+class BaselineCacheSim {
+ public:
+  explicit BaselineCacheSim(hm::MachineConfig cfg) : cfg_(std::move(cfg)) {
+    const std::uint32_t L = cfg_.cache_levels();
+    caches_.reserve(L);
+    counters_.resize(L);
+    for (std::uint32_t lvl = 1; lvl <= L; ++lvl) {
+      const std::size_t lines =
+          std::max<std::uint64_t>(1, cfg_.capacity(lvl) / cfg_.block(lvl));
+      std::vector<BaselineLruCache> row;
+      row.reserve(cfg_.caches_at(lvl));
+      for (std::uint32_t c = 0; c < cfg_.caches_at(lvl); ++c) {
+        row.emplace_back(lines);
+      }
+      caches_.push_back(std::move(row));
+      counters_[lvl - 1].resize(cfg_.caches_at(lvl));
+    }
+  }
+
+  void access(std::uint32_t core, std::uint64_t addr, std::uint32_t words,
+              bool write) {
+    assert(core < cfg_.cores());
+    const std::uint64_t b1 = cfg_.block(1);
+    const std::uint64_t first = addr / b1;
+    const std::uint64_t last =
+        (addr + std::max<std::uint32_t>(words, 1) - 1) / b1;
+    const std::uint32_t L = cfg_.cache_levels();
+    for (std::uint64_t blk1 = first; blk1 <= last; ++blk1) {
+      ++accesses_;
+      const std::uint64_t word0 = blk1 * b1;
+      if (cfg_.cores() > 1) {
+        auto& sharers = l1_sharers_[blk1];
+        const std::uint64_t me = 1ull << (core % 64);
+        if (write && (sharers & ~me) != 0) {
+          ++pingpong_;
+          for (std::uint32_t c = 0; c < cfg_.cores(); ++c) {
+            if (c == core) continue;
+            if (sharers & (1ull << (c % 64))) {
+              if (caches_[0][cfg_.cache_of(c, 1)].erase(blk1)) {
+                ++counters_[0][cfg_.cache_of(c, 1)].invalidations;
+              }
+            }
+          }
+          sharers = me;
+        } else {
+          sharers |= me;
+        }
+      }
+      for (std::uint32_t lvl = 1; lvl <= L; ++lvl) {
+        const std::uint64_t blk = word0 / cfg_.block(lvl);
+        const std::uint32_t idx = cfg_.cache_of(core, lvl);
+        BaselineLruCache& cache = caches_[lvl - 1][idx];
+        hm::CacheCounters& ctr = counters_[lvl - 1][idx];
+        if (cache.touch(blk)) {
+          ++ctr.hits;
+          break;
+        }
+        ++ctr.misses;
+        if (cache.last_evicted() != ~0ull) {
+          ++ctr.evictions;
+          if (lvl == 1) {
+            auto it = l1_sharers_.find(cache.last_evicted());
+            if (it != l1_sharers_.end()) {
+              it->second &= ~(1ull << (core % 64));
+              if (it->second == 0) l1_sharers_.erase(it);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  const hm::CacheCounters& counters(std::uint32_t level,
+                                    std::uint32_t idx) const {
+    return counters_.at(level - 1).at(idx);
+  }
+  std::uint32_t caches_at(std::uint32_t level) const {
+    return static_cast<std::uint32_t>(counters_.at(level - 1).size());
+  }
+  std::uint64_t pingpong_events() const { return pingpong_; }
+
+  void clear() {
+    for (auto& row : counters_) {
+      std::fill(row.begin(), row.end(), hm::CacheCounters{});
+    }
+    pingpong_ = 0;
+    accesses_ = 0;
+    for (auto& row : caches_) {
+      for (auto& c : row) c.clear();
+    }
+    l1_sharers_.clear();
+  }
+
+ private:
+  hm::MachineConfig cfg_;
+  std::vector<std::vector<BaselineLruCache>> caches_;
+  std::vector<std::vector<hm::CacheCounters>> counters_;
+  std::unordered_map<std::uint64_t, std::uint64_t> l1_sharers_;
+  std::uint64_t pingpong_ = 0;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace obliv::bench

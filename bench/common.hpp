@@ -156,4 +156,63 @@ class JsonRecorder {
   std::vector<Record> records_;
 };
 
+/// Recorder for the simulator-throughput bench (BENCH_simrate.json).
+/// One record per (workload, machine config, n): the number of simulated
+/// word accesses per repetition, the best-of-K rate of the current
+/// simulator, and -- for trace-replay rows -- the rate of the vendored
+/// pre-optimization simulator on the identical trace plus their ratio, so
+/// the simulator's speed (and the speedup claim) is trackable across PRs.
+class SimRateRecorder {
+ public:
+  struct Record {
+    std::string bench;
+    std::string config;
+    std::uint64_t n = 0;
+    std::uint64_t accesses = 0;    ///< simulated word accesses per rep
+    double acc_per_sec = 0;        ///< best-of-K, current simulator
+    double base_acc_per_sec = 0;   ///< best-of-K, baseline (0 = no baseline)
+    double speedup = 0;            ///< acc_per_sec / base_acc_per_sec
+    int reps = 0;
+  };
+
+  explicit SimRateRecorder(std::string path) : path_(std::move(path)) {}
+
+  void add(const std::string& bench_name, const std::string& config,
+           std::uint64_t n, std::uint64_t accesses, double acc_per_sec,
+           double base_acc_per_sec, double speedup, int reps) {
+    records_.push_back(Record{bench_name, config, n, accesses, acc_per_sec,
+                              base_acc_per_sec, speedup, reps});
+  }
+
+  bool write() const {
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << "warning: cannot write " << path_ << "\n";
+      return false;
+    }
+    out << "{\n  \"git_rev\": \"" << git_rev() << "\",\n";
+    out << "  \"records\": [\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      out << "    {\"bench\": \"" << r.bench << "\", \"config\": \""
+          << r.config << "\", \"n\": " << r.n
+          << ", \"accesses\": " << r.accesses << ", \"acc_per_sec\": "
+          << util::Table::fmt(r.acc_per_sec, "%.4g")
+          << ", \"base_acc_per_sec\": "
+          << util::Table::fmt(r.base_acc_per_sec, "%.4g")
+          << ", \"speedup\": " << util::Table::fmt(r.speedup, "%.3f")
+          << ", \"reps\": " << r.reps << "}"
+          << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << path_ << " (" << records_.size()
+              << " records, git_rev=" << git_rev() << ")\n";
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::vector<Record> records_;
+};
+
 }  // namespace obliv::bench

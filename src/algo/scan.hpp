@@ -34,18 +34,25 @@ void mo_scan_inclusive(Exec& ex, Ref v, Ref scratch, Op op) {
   }
   const std::uint64_t half = n / 2;
 
-  // Contract: t[i] = v[2i] (+) v[2i+1].
+  // Contract: t[i] = v[2i] (+) v[2i+1].  The pair load is one batched
+  // access -- the two per-element loads are back-to-back and contiguous,
+  // so the collapsed B_1-block stream (hence every counter) is unchanged.
   ex.cgc_pfor(0, half, 2 * sizeof(T) / 8,
               [&](std::uint64_t lo, std::uint64_t hi) {
                 for (std::uint64_t i = lo; i < hi; ++i) {
-                  scratch.store(i, op(v.load(2 * i), v.load(2 * i + 1)));
+                  const auto [a, b] = v.load2(2 * i);
+                  scratch.store(i, op(a, b));
                 }
               });
 
   mo_scan_inclusive(ex, scratch.slice(0, half), scratch.slice(half, half / 2),
                     op);
 
-  // Expand: v[2i] = t[i-1] (+) v[2i], v[2i+1] = t[i].
+  // Expand: v[2i] = t[i-1] (+) v[2i], v[2i+1] = t[i].  Kept per-element:
+  // batching this loop would reorder accesses across the t and v streams,
+  // and on deep hierarchies the leftover recency shuffle at chunk
+  // boundaries shifts later eviction victims -- the golden-counter test
+  // catches it.  Only order-preserving merges are exact (DESIGN.md).
   ex.cgc_pfor(0, half, 2 * sizeof(T) / 8,
               [&](std::uint64_t lo, std::uint64_t hi) {
                 for (std::uint64_t i = lo; i < hi; ++i) {
@@ -90,7 +97,8 @@ typename Ref::value_type mo_reduce(Exec& ex, Ref v, Op op) {
   ex.cgc_pfor(0, half, 2 * sizeof(T) / 8,
               [&](std::uint64_t lo, std::uint64_t hi) {
                 for (std::uint64_t i = lo; i < hi; ++i) {
-                  scratch.store(i, op(v.load(2 * i), v.load(2 * i + 1)));
+                  const auto [a, b] = v.load2(2 * i);
+                  scratch.store(i, op(a, b));
                 }
               });
   if (n % 2 == 1) scratch.store(half, v.load(n - 1));

@@ -46,10 +46,12 @@ void sort_base(Exec& ex, Ref v) {
   const std::uint64_t n = v.size();
   assert(n <= kSortBase);
   T local[kSortBase];
-  for (std::uint64_t i = 0; i < n; ++i) local[i] = v.load(i);
+  // Batched runs: the loads (and the stores) are back-to-back accesses to
+  // consecutive elements, the exact shape load_run/store_run collapse.
+  v.load_run(0, n, local);
   std::sort(local, local + n);
   ex.tick(n * (util::ilog2(n | 1) + 1));
-  for (std::uint64_t i = 0; i < n; ++i) v.store(i, local[i]);
+  v.store_run(0, n, local);
 }
 
 }  // namespace detail
@@ -202,7 +204,7 @@ void spms_sort(Exec& ex, Ref v) {
 
   // ---- Copy back [CGC]. ----
   ex.cgc_pfor(0, n, W, [&](std::uint64_t lo, std::uint64_t hi) {
-    for (std::uint64_t z = lo; z < hi; ++z) v.store(z, out.load(z));
+    ex.copy(v.slice(lo, hi - lo), out.slice(lo, hi - lo));
   });
 }
 
@@ -251,7 +253,7 @@ void mergesort_rec(Exec& ex, Ref v, Ref tmp) {
       });
   merge_into(ex, v.slice(0, half), v.slice(half, n - half), tmp);
   ex.cgc_pfor(0, n, W, [&](std::uint64_t lo, std::uint64_t hi) {
-    for (std::uint64_t z = lo; z < hi; ++z) v.store(z, tmp.load(z));
+    ex.copy(v.slice(lo, hi - lo), tmp.slice(lo, hi - lo));
   });
 }
 

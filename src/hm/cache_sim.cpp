@@ -1,43 +1,31 @@
 #include "hm/cache_sim.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace obliv::hm {
 
-LruCache::LruCache(std::size_t lines) : lines_(lines) {
+LruCache::LruCache(std::size_t lines)
+    : lines_(lines), map_(std::min<std::size_t>(lines, 32768)) {
   assert(lines_ > 0);
-  map_.reserve(lines_ * 2);
-}
-
-void LruCache::unlink(std::uint32_t idx) {
-  Node& n = nodes_[idx];
-  if (n.prev != kNil) {
-    nodes_[n.prev].next = n.next;
-  } else {
-    head_ = n.next;
-  }
-  if (n.next != kNil) {
-    nodes_[n.next].prev = n.prev;
-  } else {
-    tail_ = n.prev;
-  }
-}
-
-void LruCache::push_front(std::uint32_t idx) {
-  Node& n = nodes_[idx];
-  n.prev = kNil;
-  n.next = head_;
-  if (head_ != kNil) nodes_[head_].prev = idx;
-  head_ = idx;
-  if (tail_ == kNil) tail_ = idx;
 }
 
 bool LruCache::touch(std::uint64_t block) {
   last_evicted_ = ~0ull;
-  auto it = map_.find(block);
-  if (it != map_.end()) {
-    const std::uint32_t idx = it->second;
+  if (map_.needs_grow()) {
+    // Rehash before probing so the insert slot stays valid, then refresh
+    // the node backpointers the rehash invalidated.
+    map_.rehash_now();
+    map_.for_each(
+        [&](std::size_t slot, std::uint32_t val) {
+          nodes_[val].slot = static_cast<std::uint32_t>(slot);
+        });
+  }
+  std::size_t slot;
+  if (const std::uint32_t* v = map_.find_or_slot(block, slot)) {
+    const std::uint32_t idx = *v;
+    last_node_ = idx;
     if (head_ != idx) {
       unlink(idx);
       push_front(idx);
@@ -46,10 +34,12 @@ bool LruCache::touch(std::uint64_t block) {
   }
   std::uint32_t idx;
   if (map_.size() >= lines_) {
-    // Evict the LRU block and reuse its node.
+    // Evict the LRU block and reuse its node.  The victim's tombstone
+    // cannot shorten our insert cluster, but `slot` stays valid: probes
+    // step over tombstones, and `slot` precedes the cluster's first empty.
     idx = tail_;
     last_evicted_ = nodes_[idx].block;
-    map_.erase(nodes_[idx].block);
+    map_.erase_at(nodes_[idx].slot);
     unlink(idx);
   } else if (!free_.empty()) {
     idx = free_.back();
@@ -59,18 +49,20 @@ bool LruCache::touch(std::uint64_t block) {
     nodes_.push_back(Node{});
   }
   nodes_[idx].block = block;
+  nodes_[idx].slot =
+      static_cast<std::uint32_t>(map_.insert_at(slot, block, idx));
+  last_node_ = idx;
   push_front(idx);
-  map_.emplace(block, idx);
   return false;
 }
 
 bool LruCache::erase(std::uint64_t block) {
-  auto it = map_.find(block);
-  if (it == map_.end()) return false;
-  const std::uint32_t idx = it->second;
+  const std::uint32_t* v = map_.find(block);
+  if (v == nullptr) return false;
+  const std::uint32_t idx = *v;
   unlink(idx);
   free_.push_back(idx);
-  map_.erase(it);
+  map_.erase_at(nodes_[idx].slot);
   return true;
 }
 
@@ -84,8 +76,11 @@ void LruCache::clear() {
 
 CacheSim::CacheSim(MachineConfig cfg) : cfg_(std::move(cfg)) {
   const std::uint32_t L = cfg_.cache_levels();
+  multicore_ = cfg_.cores() > 1;
   caches_.reserve(L);
   counters_.resize(L);
+  cache_idx_.resize(L);
+  shift_.resize(L);
   for (std::uint32_t lvl = 1; lvl <= L; ++lvl) {
     const std::size_t lines = std::max<std::uint64_t>(
         1, cfg_.capacity(lvl) / cfg_.block(lvl));
@@ -96,61 +91,157 @@ CacheSim::CacheSim(MachineConfig cfg) : cfg_(std::move(cfg)) {
     }
     caches_.push_back(std::move(row));
     counters_[lvl - 1].resize(cfg_.caches_at(lvl));
+    cache_idx_[lvl - 1].resize(cfg_.cores());
+    for (std::uint32_t c = 0; c < cfg_.cores(); ++c) {
+      cache_idx_[lvl - 1][c] = cfg_.cache_of(c, lvl);
+    }
+    const std::uint64_t b = cfg_.block(lvl);
+    shift_[lvl - 1] = std::has_single_bit(b)
+                          ? static_cast<std::uint8_t>(std::countr_zero(b))
+                          : kNoShift;
+  }
+  l0_.assign(std::size_t(cfg_.cores()) * kL0Ways, L0Entry{});
+  l0_dirty_.assign(cfg_.cores(), 0);
+  run_memo_.assign(L, ~0ull);
+  b1_ = cfg_.block(1);
+  b1_shift_ = shift_[0];
+  counters1_ = counters_[0].data();
+}
+
+void CacheSim::coherence_write(std::uint32_t core, std::uint64_t blk1) {
+  std::uint64_t& mask = sharers_.get(blk1);
+  const std::uint64_t me = 1ull << core;
+  std::uint64_t others = mask & ~me;
+  if (others != 0) {
+    ++pingpong_;
+    do {
+      // p_1 == 1 (validated), so core c's L1 is caches_[0][c].
+      const std::uint32_t c =
+          static_cast<std::uint32_t>(std::countr_zero(others));
+      others &= others - 1;
+      if (caches_[0][c].erase(blk1)) ++counters_[0][c].invalidations;
+      l0_drop(c, blk1);
+    } while (others != 0);
+  }
+  mask = me;
+}
+
+void CacheSim::l0_drop(std::uint32_t core, std::uint64_t blk1) {
+  L0Entry* set = &l0_[core * kL0Ways];
+  for (std::uint32_t k = 0; k < kL0Ways; ++k) {
+    if (set[k].block == blk1) {
+      set[k].block = ~0ull;
+      return;
+    }
   }
 }
 
-void CacheSim::access(std::uint32_t core, std::uint64_t addr,
-                      std::uint32_t words, bool write) {
-  assert(core < cfg_.cores());
-  const std::uint64_t b1 = cfg_.block(1);
-  const std::uint64_t first = addr / b1;
-  const std::uint64_t last = (addr + std::max<std::uint32_t>(words, 1) - 1) / b1;
+void CacheSim::touch_block(std::uint32_t core, std::uint64_t blk1, bool write,
+                           std::uint64_t* run_memo) {
+  L0Entry* set = &l0_[core * kL0Ways];
+  CacheCounters& c1 = counters1_[core];
+  LruCache& l1 = caches_[0][core];
+  // L0 filter probe: a slot hit is an exact L1 hit.  The LRU-list move is
+  // deferred (see L0Entry); the slot just rotates to the front.  Reads need
+  // no sharer update (the core's bit is already set); only a write to a
+  // possibly-shared block probes.
+  for (std::uint32_t k = 0; k < kL0Ways; ++k) {
+    if (set[k].block != blk1) continue;
+    if (write && !set[k].exclusive) {
+      coherence_write(core, blk1);
+      set[k].exclusive = true;
+    }
+    if (k != 0) {
+      const L0Entry hit = set[k];
+      for (std::uint32_t j = k; j > 0; --j) set[j] = set[j - 1];
+      set[0] = hit;
+      l0_dirty_[core] = 1;
+    }
+    ++c1.hits;
+    return;
+  }
+  // Slow path.  First settle the deferred LRU moves so the list is in
+  // exact recency order before any eviction decision below.
+  if (l0_dirty_[core]) {
+    l0_dirty_[core] = 0;
+    for (std::uint32_t k = kL0Ways; k-- > 0;) {
+      if (set[k].block != ~0ull) l1.touch_known(set[k].node);
+    }
+  }
+  if (multicore_ && write) coherence_write(core, blk1);
+  const bool hit = l1.touch(blk1);
+  // Either way blk1 is now MRU in the L1; record it at L0 slot 0.
+  for (std::uint32_t j = kL0Ways - 1; j > 0; --j) set[j] = set[j - 1];
+  // After a write the sharer mask is exactly {core}; after a read other
+  // sharers may exist, so exclusivity is only assumed when it is free.
+  set[0] = L0Entry{blk1, l1.last_node(), write || !multicore_};
+  if (hit) {
+    ++c1.hits;
+    return;
+  }
+  ++c1.misses;
+  if (l1.last_evicted() != ~0ull) {
+    ++c1.evictions;
+    l0_drop(core, l1.last_evicted());
+    if (multicore_) {
+      // Keep the sharer table in sync with L1 contents.
+      if (std::uint64_t* m = sharers_.find(l1.last_evicted())) {
+        *m &= ~(1ull << core);
+      }
+    }
+  }
+  if (multicore_ && !write) {
+    std::uint64_t& mask = sharers_.get(blk1);
+    const std::uint64_t me = 1ull << core;
+    // Gaining a second sharer invalidates the sole owner's L0 exclusivity
+    // (its next write must ping-pong us out).
+    if (mask != 0 && mask != me && (mask & (mask - 1)) == 0) {
+      const std::uint32_t w =
+          static_cast<std::uint32_t>(std::countr_zero(mask));
+      L0Entry* ws = &l0_[w * kL0Ways];
+      for (std::uint32_t k = 0; k < kL0Ways; ++k) {
+        if (ws[k].block == blk1) ws[k].exclusive = false;
+      }
+    }
+    mask |= me;
+  }
+
+  // Walk the upper levels until a hit.
+  const std::uint64_t word0 = blk1 * b1_;
   const std::uint32_t L = cfg_.cache_levels();
-  for (std::uint64_t blk1 = first; blk1 <= last; ++blk1) {
-    ++accesses_;
-    const std::uint64_t word0 = blk1 * b1;
-    // Coherence at B_1 granularity: a write invalidates other sharers.
-    if (cfg_.cores() > 1) {
-      auto& sharers = l1_sharers_[blk1];
-      const std::uint64_t me = 1ull << (core % 64);
-      if (write && (sharers & ~me) != 0) {
-        ++pingpong_;
-        for (std::uint32_t c = 0; c < cfg_.cores(); ++c) {
-          if (c == core) continue;
-          if (sharers & (1ull << (c % 64))) {
-            if (caches_[0][cfg_.cache_of(c, 1)].erase(blk1)) {
-              ++counters_[0][cfg_.cache_of(c, 1)].invalidations;
-            }
-          }
-        }
-        sharers = me;
-      } else {
-        sharers |= me;
-      }
-    }
-    // Walk up the hierarchy until a hit.
-    for (std::uint32_t lvl = 1; lvl <= L; ++lvl) {
-      const std::uint64_t blk = word0 / cfg_.block(lvl);
-      const std::uint32_t idx = cfg_.cache_of(core, lvl);
-      LruCache& cache = caches_[lvl - 1][idx];
-      CacheCounters& ctr = counters_[lvl - 1][idx];
-      if (cache.touch(blk)) {
+  for (std::uint32_t lvl = 2; lvl <= L; ++lvl) {
+    const std::uint64_t blk = block_of(word0, lvl);
+    const std::uint32_t idx = cache_idx_[lvl - 1][core];
+    CacheCounters& ctr = counters_[lvl - 1][idx];
+    if (run_memo != nullptr) {
+      if (run_memo[lvl - 1] == blk) {
+        // Touched earlier in this run with nothing since at this level:
+        // still present and MRU, so this is a hit with no LRU movement.
         ++ctr.hits;
-        break;
+        return;
       }
-      ++ctr.misses;
-      if (cache.last_evicted() != ~0ull) {
-        ++ctr.evictions;
-        if (lvl == 1) {
-          // Keep the sharer map in sync with L1 contents.
-          auto it = l1_sharers_.find(cache.last_evicted());
-          if (it != l1_sharers_.end()) {
-            it->second &= ~(1ull << (core % 64));
-            if (it->second == 0) l1_sharers_.erase(it);
-          }
-        }
-      }
+      run_memo[lvl - 1] = blk;
     }
+    LruCache& cache = caches_[lvl - 1][idx];
+    if (cache.touch(blk)) {
+      ++ctr.hits;
+      return;
+    }
+    ++ctr.misses;
+    if (cache.last_evicted() != ~0ull) ++ctr.evictions;
+  }
+}
+
+void CacheSim::access_blocks(std::uint32_t core, std::uint64_t first,
+                             std::uint64_t last, bool write) {
+  assert(core < cfg_.cores());
+  if (first == last) {
+    touch_block(core, first, write, nullptr);
+    return;
+  }
+  std::fill(run_memo_.begin(), run_memo_.end(), ~0ull);
+  for (std::uint64_t b = first; b <= last; ++b) {
+    touch_block(core, b, write, run_memo_.data());
   }
 }
 
@@ -194,7 +285,9 @@ void CacheSim::clear() {
   for (auto& row : caches_) {
     for (auto& c : row) c.clear();
   }
-  l1_sharers_.clear();
+  std::fill(l0_.begin(), l0_.end(), L0Entry{});
+  std::fill(l0_dirty_.begin(), l0_dirty_.end(), 0);
+  sharers_.clear();
 }
 
 }  // namespace obliv::hm

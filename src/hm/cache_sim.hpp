@@ -13,13 +13,34 @@
 // core's L1 invalidates it there and counts a ping-pong event.  The CGC
 // scheduler's B_1-respecting chunking exists precisely to avoid these events
 // (ablated in bench_sched_ablation).
+//
+// Implementation (PR 3): this is the hot path of every Table II / Theorem
+// bench, so it is built for throughput while keeping every observable
+// counter bit-identical to the reference semantics above (enforced by
+// tests/test_golden_counters.cpp):
+//
+//   * LruCache keys blocks through an open-addressing flat table
+//     (hm/flat_table.hpp) into an intrusive doubly-linked LRU list -- exact
+//     fully-associative LRU, ~one probe per touch.
+//   * Coherence is O(1) per access: the sharer set is a 64-bit mask in an
+//     epoch-tagged flat table (MachineConfig rejects > 64 cores), writers
+//     that are the sole sharer skip the invalidation scan entirely, and
+//     invalidations iterate set bits, not all cores.
+//   * A per-core "L0" filter (one block tag per core) short-circuits
+//     repeated touches of a core's most-recently-used B_1 block -- the
+//     common sequential-access case -- into a single compare.  L1 hit
+//     counters are still credited; see DESIGN.md for why this is exact.
+//   * access_run() walks a whole run of B_1 blocks per call, memoising the
+//     last block touched per upper level within the run, so batched range
+//     accesses (SimRef::load_run / store_run) pay one hierarchy walk per
+//     *distinct* upper-level block instead of one probe per B_1 block.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "hm/config.hpp"
+#include "hm/flat_table.hpp"
 
 namespace obliv::hm {
 
@@ -34,11 +55,25 @@ class LruCache {
   /// `evicted_valid()` is true after the call).
   bool touch(std::uint64_t block);
 
+  /// LRU move for a block whose node index is already known (from
+  /// last_node() at install/hit time) -- no hash probe.
+  void touch_known(std::uint32_t idx) {
+    if (head_ != idx) {
+      unlink(idx);
+      push_front(idx);
+    }
+  }
+
+  /// Node index of the block hit or installed by the most recent touch().
+  std::uint32_t last_node() const { return last_node_; }
+
   /// Removes `block` if present (coherence invalidation); returns true if
   /// it was present.
   bool erase(std::uint64_t block);
 
-  bool contains(std::uint64_t block) const { return map_.count(block) != 0; }
+  bool contains(std::uint64_t block) const {
+    return map_.find(block) != nullptr;
+  }
 
   /// Block id evicted by the most recent touch(), or UINT64_MAX if none.
   std::uint64_t last_evicted() const { return last_evicted_; }
@@ -52,17 +87,39 @@ class LruCache {
   struct Node {
     std::uint64_t block;
     std::uint32_t prev, next;
+    std::uint32_t slot;  ///< backpointer into map_ for O(1) erase
   };
   static constexpr std::uint32_t kNil = 0xffffffffu;
 
-  void unlink(std::uint32_t idx);
-  void push_front(std::uint32_t idx);
+  void unlink(std::uint32_t idx) {
+    Node& n = nodes_[idx];
+    if (n.prev != kNil) {
+      nodes_[n.prev].next = n.next;
+    } else {
+      head_ = n.next;
+    }
+    if (n.next != kNil) {
+      nodes_[n.next].prev = n.prev;
+    } else {
+      tail_ = n.prev;
+    }
+  }
+
+  void push_front(std::uint32_t idx) {
+    Node& n = nodes_[idx];
+    n.prev = kNil;
+    n.next = head_;
+    if (head_ != kNil) nodes_[head_].prev = idx;
+    head_ = idx;
+    if (tail_ == kNil) tail_ = idx;
+  }
 
   std::size_t lines_;
   std::vector<Node> nodes_;
   std::vector<std::uint32_t> free_;
-  std::unordered_map<std::uint64_t, std::uint32_t> map_;
+  FlatTable<std::uint32_t> map_;
   std::uint32_t head_ = kNil, tail_ = kNil;
+  std::uint32_t last_node_ = kNil;
   std::uint64_t last_evicted_ = ~0ull;
 };
 
@@ -79,10 +136,60 @@ class CacheSim {
  public:
   explicit CacheSim(MachineConfig cfg);
 
+  // counters1_ points into counters_[0]; moves keep vector heap buffers so
+  // the pointer survives, but copies would leave it dangling.
+  CacheSim(const CacheSim&) = delete;
+  CacheSim& operator=(const CacheSim&) = delete;
+  CacheSim(CacheSim&&) = default;
+  CacheSim& operator=(CacheSim&&) = default;
+
   /// Simulates core `core` touching `words` consecutive words starting at
-  /// word address `addr` (read if !write).
+  /// word address `addr` (read if !write).  Equivalent to access_run().
   void access(std::uint32_t core, std::uint64_t addr, std::uint32_t words,
-              bool write);
+              bool write) {
+    access_run(core, addr, words, write);
+  }
+
+  /// Batched entry point: simulates the whole run of B_1 blocks covered by
+  /// [addr, addr + words) in one call.  Observable counters are identical
+  /// to per-word access() calls over the same range collapsed at B_1
+  /// granularity (each covered block is touched exactly once per call).
+  ///
+  /// The body here is the L0 fast path, inlined into callers: a repeat
+  /// touch of the core's most recent B_1 block (and, for writes, one it
+  /// holds exclusively) is a single compare + two counter increments.
+  /// Everything else tail-calls the out-of-line slow path.
+  void access_run(std::uint32_t core, std::uint64_t addr, std::uint32_t words,
+                  bool write) {
+    accesses_ += words > 0 ? words : 1;
+    const std::uint64_t end = addr + (words > 1 ? words - 1 : 0);
+    std::uint64_t first, last;
+    if (b1_shift_ != kNoShift) {
+      first = addr >> b1_shift_;
+      last = end >> b1_shift_;
+    } else {
+      first = addr / b1_;
+      last = end / b1_;
+    }
+    if (first == last) {
+      L0Entry* set = &l0_[core * kL0Ways];
+      if (set[0].block == first && (!write || set[0].exclusive)) {
+        ++counters1_[core].hits;
+        return;
+      }
+      // Second way inline: two interleaved streams (one loaded, one stored)
+      // alternate between slots 0 and 1 on every access.
+      if (set[1].block == first && (!write || set[1].exclusive)) {
+        const L0Entry hit = set[1];
+        set[1] = set[0];
+        set[0] = hit;
+        l0_dirty_[core] = 1;  // LRU move deferred until the next slow path
+        ++counters1_[core].hits;
+        return;
+      }
+    }
+    access_blocks(core, first, last, write);
+  }
 
   const MachineConfig& config() const { return cfg_; }
 
@@ -103,6 +210,9 @@ class CacheSim {
   /// by other L1s).
   std::uint64_t pingpong_events() const { return pingpong_; }
 
+  /// Total simulated word accesses (the workload-invariant throughput
+  /// numerator: a batched access_run over `words` words counts `words`,
+  /// exactly like per-word calls over the same range would).
   std::uint64_t total_accesses() const { return accesses_; }
 
   /// Zeroes all counters but keeps cache contents (warm restart).
@@ -112,13 +222,79 @@ class CacheSim {
   void clear();
 
  private:
+  /// One slot of a core's L0 filter: a B_1 block known to be resident in
+  /// the core's private L1 at LRU node `node`.  `exclusive` means the
+  /// sharer mask is known to be exactly this core, so even writes need no
+  /// coherence probe.  Each core owns kL0Ways slots kept in MRU order, and
+  /// slots are cleared whenever their block leaves the L1 (eviction or
+  /// invalidation), so a slot hit is always an exact L1 hit.  The slots
+  /// are, by construction, the core's kL0Ways most recently used distinct
+  /// blocks, so the L1's LRU-list moves for slot hits are *deferred*: list
+  /// order among the top-kL0Ways blocks cannot affect an eviction decision
+  /// until the next install, and the slow path settles the deferred order
+  /// (flush, in slot order) before it touches the L1 -- reproducing
+  /// exactly the list an eager implementation would have.  Multiple ways
+  /// matter because the MO kernels interleave 2-3 sequential streams
+  /// (e.g. scan reads v[2i], v[2i+1] and writes t[i]), which would thrash
+  /// a single-entry filter every access.
+  struct L0Entry {
+    std::uint64_t block = ~0ull;
+    std::uint32_t node = 0;
+    bool exclusive = false;
+  };
+  static constexpr std::uint32_t kL0Ways = 4;
+
+  /// Out-of-line slow path of access_run(): touches blocks [first, last].
+  void access_blocks(std::uint32_t core, std::uint64_t first,
+                     std::uint64_t last, bool write);
+
+  /// One B_1-block touch: L0 filter, coherence, hierarchy walk.
+  /// `run_memo` (one slot per level, ~0 = none) carries the last block
+  /// touched per upper level within the current access_run() call; pass
+  /// nullptr for single-block accesses.
+  void touch_block(std::uint32_t core, std::uint64_t blk1, bool write,
+                   std::uint64_t* run_memo);
+
+  /// Write-path coherence: invalidate other sharers (counting one
+  /// ping-pong if any existed) and make `core` the sole sharer.
+  void coherence_write(std::uint32_t core, std::uint64_t blk1);
+
+  /// Clears `blk1` from `core`'s L0 set if present (block left the L1).
+  void l0_drop(std::uint32_t core, std::uint64_t blk1);
+
+  /// Block id of `word` at `level` (1-based).
+  std::uint64_t block_of(std::uint64_t word, std::uint32_t level) const {
+    const std::uint8_t s = shift_[level - 1];
+    return s != kNoShift ? word >> s : word / cfg_.block(level);
+  }
+
+  static constexpr std::uint8_t kNoShift = 0xff;
+
   MachineConfig cfg_;
+  bool multicore_ = false;
+  // Hot copies for the inline fast path: B_1 and its log2 (or kNoShift),
+  // and the raw row of L1 counters (counters_[0].data(); vectors never
+  // resize after construction, and moves keep heap buffers, so the pointer
+  // stays valid -- copying is deleted below to keep that true).
+  std::uint64_t b1_ = 1;
+  std::uint8_t b1_shift_ = 0;
+  CacheCounters* counters1_ = nullptr;
   // caches_[level-1][idx]
   std::vector<std::vector<LruCache>> caches_;
   std::vector<std::vector<CacheCounters>> counters_;
-  // Sharer bitmask per B_1 block, for the coherence model (supports up to
-  // 64 cores, enough for every preset).
-  std::unordered_map<std::uint64_t, std::uint64_t> l1_sharers_;
+  // cache_idx_[level-1][core]: cfg_.cache_of(core, level), precomputed.
+  std::vector<std::vector<std::uint32_t>> cache_idx_;
+  // log2(B_i) when B_i is a power of two, else kNoShift.
+  std::vector<std::uint8_t> shift_;
+  // l0_[core * kL0Ways + k]: core's L0 filter slots in MRU order.
+  std::vector<L0Entry> l0_;
+  // l0_dirty_[core]: nonzero when L0 slot order has diverged from the L1's
+  // LRU-list order (moves deferred by L0 hits; settled before any install).
+  std::vector<std::uint8_t> l0_dirty_;
+  // Scratch for access_run(): last block touched per level in the current
+  // run (index level-1; ~0 = none).  Member to avoid per-call allocation.
+  std::vector<std::uint64_t> run_memo_;
+  SharerTable sharers_;
   std::uint64_t pingpong_ = 0;
   std::uint64_t accesses_ = 0;
 };

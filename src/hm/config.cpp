@@ -40,6 +40,14 @@ void MachineConfig::validate() const {
   };
   if (levels_.empty()) fail("at least one cache level is required");
   if (levels_.front().fanin != 1) fail("p_1 must be 1 (private L1 per core)");
+  if (cores_ > 64) {
+    // The coherence model keeps one 64-bit sharer bitmask per B_1 block
+    // (hm/cache_sim.hpp); silently aliasing core 64 onto core 0 would
+    // corrupt ping-pong and invalidation counts.
+    fail("more than 64 cores is unsupported: the coherence sharer set is a "
+         "64-bit bitmask (got p = " +
+         std::to_string(cores_) + ")");
+  }
   for (std::size_t i = 0; i < levels_.size(); ++i) {
     const LevelSpec& lv = levels_[i];
     std::ostringstream at;

@@ -18,6 +18,7 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "no/machine.hpp"
@@ -43,6 +44,14 @@ class NoExecutor {
 
   template <class T>
   NoBuf<T> make_buf(std::size_t n);
+
+  /// Element-wise copy (counterpart of SimExecutor::copy).  Per-element on
+  /// this model: every element's read and write owes its own message.
+  template <class T>
+  void copy(NoRef<T> dst, NoRef<T> src) {
+    assert(dst.size() == src.size());
+    for (std::size_t i = 0; i < src.size(); ++i) dst.store(i, src.load(i));
+  }
 
   void tick(std::uint64_t n) { mach_->compute(cur_pe_, n); }
 
@@ -174,6 +183,20 @@ class NoRef {
     assert(i < n_);
     ex_->access_at(owner(i), W, true);
     f(data_[i]);
+  }
+
+  // Batched accessors, per-element here: consecutive elements may live on
+  // different PEs, so each one still declares its own message.  Message and
+  // compute counters are bit-identical to the unbatched loop.
+  void load_run(std::size_t i, std::size_t len, T* out) const {
+    for (std::size_t k = 0; k < len; ++k) out[k] = load(i + k);
+  }
+  void store_run(std::size_t i, std::size_t len, const T* src) const {
+    for (std::size_t k = 0; k < len; ++k) store(i + k, src[k]);
+  }
+  std::pair<T, T> load2(std::size_t i) const {
+    const T a = load(i);
+    return {a, load(i + 1)};
   }
 
   NoRef slice(std::size_t off, std::size_t len) const {

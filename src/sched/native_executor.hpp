@@ -25,6 +25,7 @@
 // Select with the constructor argument or OBLIV_SCHED=sharedq|steal.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -33,6 +34,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "sched/hints.hpp"
@@ -207,6 +209,9 @@ class NativeExecutor {
   template <class T>
   NatBuf<T> make_buf(std::size_t n);
 
+  template <class T>
+  void copy(NatRef<T> dst, NatRef<T> src);
+
   // Same interface as SimExecutor so algorithms are written once. ----------
 
   void cgc_pfor(std::uint64_t lo, std::uint64_t hi,
@@ -254,6 +259,15 @@ class NatRef {
     f(data_[i]);
   }
 
+  // Batched counterparts of SimRef's run accessors (plain copies here).
+  void load_run(std::size_t i, std::size_t len, T* out) const {
+    std::copy(data_ + i, data_ + i + len, out);
+  }
+  void store_run(std::size_t i, std::size_t len, const T* src) const {
+    std::copy(src, src + len, data_ + i);
+  }
+  std::pair<T, T> load2(std::size_t i) const { return {data_[i], data_[i + 1]}; }
+
   NatRef slice(std::size_t off, std::size_t len) const {
     return NatRef(data_ + off, len);
   }
@@ -284,6 +298,12 @@ class NatBuf {
 template <class T>
 NatBuf<T> NativeExecutor::make_buf(std::size_t n) {
   return NatBuf<T>(n);
+}
+
+/// Native counterpart of SimExecutor::copy: a plain element-wise copy.
+template <class T>
+void NativeExecutor::copy(NatRef<T> dst, NatRef<T> src) {
+  std::copy(src.raw(), src.raw() + src.size(), dst.raw());
 }
 
 }  // namespace obliv::sched

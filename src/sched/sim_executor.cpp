@@ -42,11 +42,6 @@ std::uint64_t SimExecutor::capacity_of(std::uint32_t level) const {
   return cfg_.capacity(level);
 }
 
-void SimExecutor::access(std::uint64_t addr, std::uint32_t words, bool write) {
-  cache_.access(ctx_.core, addr, words, write);
-  tick(words);
-}
-
 RunMetrics SimExecutor::run(std::uint64_t space_words,
                             const std::function<void()>& body) {
   cache_.clear();

@@ -20,10 +20,12 @@
 // anchor level and do not change the asymptotic shapes the benches verify.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "hm/cache_sim.hpp"
@@ -55,6 +57,16 @@ struct SimPolicy {
   bool cgcsb_fit_only = false;
 };
 
+/// One recorded memory access: the arguments SimExecutor::access passed to
+/// the cache simulator.  Benches capture a workload's trace once and replay
+/// it against different simulator implementations (bench_simrate).
+struct TraceEntry {
+  std::uint64_t addr;
+  std::uint32_t words;
+  std::uint8_t core;
+  std::uint8_t write;
+};
+
 class SimExecutor {
  public:
   explicit SimExecutor(hm::MachineConfig cfg, SimPolicy policy = {});
@@ -69,6 +81,16 @@ class SimExecutor {
   template <class T>
   SimBuf<T> make_buf(std::size_t n);
 
+  /// Instrumented element-wise copy src -> dst (equal sizes): the batched
+  /// equivalent of `for i: dst.store(i, src.load(i))`, with identical
+  /// counters, work, and span.  Groups are split at every B_1 boundary of
+  /// either stream, so each group touches one source and one destination
+  /// block; the per-element loop alternates between exactly those two
+  /// blocks, which collapses to the same install order and final recency
+  /// order as the group's two batched calls (DESIGN.md, "Run batching").
+  template <class T>
+  void copy(SimRef<T> dst, SimRef<T> src);
+
   /// Words (8-byte units) occupied by one T in the simulated address space.
   template <class T>
   static constexpr std::uint64_t words_per() {
@@ -79,7 +101,24 @@ class SimExecutor {
 
   /// Records a memory access of `words` words at simulated address `addr`
   /// by the current core and charges one unit of work/span per word.
-  void access(std::uint64_t addr, std::uint32_t words, bool write);
+  /// Inline so the CacheSim L0 fast path reaches into SimRef::load/store.
+  /// A single batched call over `words` words is equivalent, in every
+  /// observable counter, to per-element calls covering the same range:
+  /// work/span charge `words` either way, and the cache walk collapses
+  /// repeat touches of a B_1 block exactly (see hm/cache_sim.hpp).
+  void access(std::uint64_t addr, std::uint32_t words, bool write) {
+    if (trace_ != nullptr) [[unlikely]] {
+      trace_->push_back(TraceEntry{addr, words,
+                                   static_cast<std::uint8_t>(ctx_.core),
+                                   static_cast<std::uint8_t>(write)});
+    }
+    cache_.access(ctx_.core, addr, words, write);
+    tick(words);
+  }
+
+  /// Appends every subsequent access to `out` (nullptr stops recording).
+  /// MachineConfig caps cores at 64, so the core always fits TraceEntry.
+  void set_trace(std::vector<TraceEntry>* out) { trace_ = out; }
 
   /// Charges `n` units of pure computation (no memory traffic).
   void tick(std::uint64_t n) {
@@ -172,6 +211,7 @@ class SimExecutor {
   std::uint64_t work_ = 0;
   std::uint64_t span_ = 0;
   std::uint64_t addr_top_ = 0;
+  std::vector<TraceEntry>* trace_ = nullptr;
   std::uint32_t rr_counter_ = 0;  // round-robin cursor for slice mode
   // cache_load_[level-1][idx]: accumulated work anchored at that cache,
   // used for the SB "least loaded" rule.
@@ -202,6 +242,37 @@ class SimRef {
     assert(i < n_);
     ex_->access(addr_ + i * W, W, /*write=*/true);
     data_[i] = v;
+  }
+
+  // Batched range accesses.  One simulator call covers the whole run, which
+  // charges the same work/span and produces the same cache counters as
+  // per-element calls over the range (hm::CacheSim::access_run), but pays
+  // the call overhead once.  Use them where an algorithm touches
+  // consecutive elements back-to-back with nothing in between.
+
+  /// Reads elements [i, i + len) into `out`.
+  void load_run(std::size_t i, std::size_t len, T* out) const {
+    assert(i + len <= n_);
+    if (len == 0) return;
+    ex_->access(addr_ + i * W, static_cast<std::uint32_t>(len * W),
+                /*write=*/false);
+    std::copy(data_ + i, data_ + i + len, out);
+  }
+
+  /// Writes `src[0 .. len)` to elements [i, i + len).
+  void store_run(std::size_t i, std::size_t len, const T* src) const {
+    assert(i + len <= n_);
+    if (len == 0) return;
+    ex_->access(addr_ + i * W, static_cast<std::uint32_t>(len * W),
+                /*write=*/true);
+    std::copy(src, src + len, data_ + i);
+  }
+
+  /// Adjacent pair read -- the contraction-tree access pattern.
+  std::pair<T, T> load2(std::size_t i) const {
+    assert(i + 1 < n_);
+    ex_->access(addr_ + i * W, 2 * W, /*write=*/false);
+    return {data_[i], data_[i + 1]};
   }
 
   /// Read-modify-write without double-charging the address computation.
@@ -259,6 +330,30 @@ SimBuf<T> SimExecutor::make_buf(std::size_t n) {
   const std::uint64_t addr = addr_top_;
   addr_top_ += n * words_per<T>();
   return SimBuf<T>(this, addr, n);
+}
+
+template <class T>
+void SimExecutor::copy(SimRef<T> dst, SimRef<T> src) {
+  assert(dst.size() == src.size());
+  const std::uint64_t n = src.size();
+  const std::uint64_t W = words_per<T>();
+  const std::uint64_t b1 = cfg_.block(1);
+  std::uint64_t i = 0;
+  while (i < n) {
+    const std::uint64_t sa = src.addr() + i * W;
+    const std::uint64_t da = dst.addr() + i * W;
+    // Elements whose first word stays inside the current B_1 block of the
+    // respective stream (at least one, so progress is guaranteed even for
+    // elements wider than a block).
+    const std::uint64_t ks = (b1 - sa % b1 + W - 1) / W;
+    const std::uint64_t kd = (b1 - da % b1 + W - 1) / W;
+    const std::uint64_t k =
+        std::max<std::uint64_t>(1, std::min({n - i, ks, kd}));
+    access(sa, static_cast<std::uint32_t>(k * W), /*write=*/false);
+    access(da, static_cast<std::uint32_t>(k * W), /*write=*/true);
+    std::copy(src.raw() + i, src.raw() + i + k, dst.raw() + i);
+    i += k;
+  }
 }
 
 }  // namespace obliv::sched

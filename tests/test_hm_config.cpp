@@ -73,6 +73,27 @@ TEST(MachineConfig, RejectsShrinkingBlocks) {
                std::invalid_argument);
 }
 
+TEST(MachineConfig, RejectsMoreThan64Cores) {
+  // The coherence layer keeps one 64-bit sharer bitmask per B_1 block, so
+  // core 64 would silently alias core 0's bit.  validate() must hard-reject
+  // such machines up front rather than let the simulator corrupt sharer
+  // state.  64 cores (the exact boundary) must still be accepted.
+  auto flat = [](std::uint32_t cores) {
+    return std::vector<LevelSpec>{LevelSpec{2048, 8, 1},
+                                  LevelSpec{1u << 21, 16, cores}};
+  };
+  EXPECT_NO_THROW(MachineConfig("p64", flat(64)));
+  try {
+    MachineConfig("p65", flat(65));
+    FAIL() << "65-core machine must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("64-bit"), std::string::npos)
+        << "rejection should name the sharer-bitmask limit, got: "
+        << e.what();
+  }
+  EXPECT_THROW(MachineConfig("p128", flat(128)), std::invalid_argument);
+}
+
 TEST(MachineConfig, CoreBoundFromCacheGrowth) {
   // p <= K * C_{h-1} / C_1 (Section II).  With c_i = 1 this is exactly
   // C_top / C_1 >= p, which validate() enforces transitively.
