@@ -48,14 +48,16 @@ algo::EdgeList grid_graph(std::uint64_t side) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke(argc, argv);
   bench::print_header("Theorem 8: MO connected components");
   const hm::MachineConfig cfg = hm::MachineConfig::shared_l2(4);
   bench::print_machine(cfg);
 
   bench::Series work{"MO-CC work vs N log2(N) log2(N/B_1), N = n+m"};
   bench::Series miss{"MO-CC L1 misses vs (N/(q_1 B_1)) log_{C_1}N log2(N/B_1)"};
-  for (std::uint64_t n : {1u << 10, 1u << 11, 1u << 12, 1u << 13}) {
+  for (std::uint64_t n :
+       bench::sweep(smoke, {1u << 10, 1u << 11, 1u << 12, 1u << 13})) {
     const algo::EdgeList g = random_graph(n, 2 * n, n);
     sched::SimExecutor ex(cfg);
     std::vector<std::uint64_t> comp;
@@ -74,8 +76,10 @@ int main() {
   bench::print_series(work, "N");
   bench::print_series(miss, "N");
 
-  // (3) Work across graph families at n = 4096 vertices.
+  // (3) Work across graph families at n = 4096 vertices (1024 under
+  // --smoke).
   {
+    const std::uint32_t fam_n = smoke ? 1024 : 4096;
     util::Table t({"graph family", "n", "edges", "work", "L1 misses"});
     auto row = [&](const std::string& name, const algo::EdgeList& g) {
       sched::SimExecutor ex(cfg);
@@ -90,7 +94,7 @@ int main() {
     };
     {
       algo::EdgeList path;
-      path.n = 4096;
+      path.n = fam_n;
       for (std::uint32_t v = 1; v < path.n; ++v) {
         path.edges.emplace_back(v - 1, v);
       }
@@ -98,13 +102,13 @@ int main() {
     }
     {
       algo::EdgeList star;
-      star.n = 4096;
+      star.n = fam_n;
       for (std::uint32_t v = 1; v < star.n; ++v) star.edges.emplace_back(0u, v);
       row("star (hooking stress)", star);
     }
     row("grid 64x64", grid_graph(64));
-    row("random sparse", random_graph(4096, 8192, 7));
-    row("many components", random_graph(4096, 1024, 8));
+    row("random sparse", random_graph(fam_n, 2 * fam_n, 7));
+    row("many components", random_graph(fam_n, fam_n / 4, 8));
     std::cout << "\n-- graph-family robustness --\n";
     t.print(std::cout);
   }

@@ -21,7 +21,7 @@ double log_base(double base, double v) {
   return std::log(v) / std::log(base);
 }
 
-void run_on_machine(const hm::MachineConfig& cfg) {
+void run_on_machine(const hm::MachineConfig& cfg, bool smoke) {
   bench::print_machine(cfg);
   std::vector<bench::Series> miss(cfg.cache_levels());
   for (std::uint32_t lvl = 1; lvl <= cfg.cache_levels(); ++lvl) {
@@ -31,7 +31,8 @@ void run_on_machine(const hm::MachineConfig& cfg) {
   bench::Series steps{"MO-FFT parallel steps (W/p + span) vs (n/p+B_1) log n"};
   bench::Series iter{"iterative FFT L1 misses vs (n/(q_1 B_1)) log2(n/C_1)"};
 
-  for (std::uint64_t n : {1u << 12, 1u << 14, 1u << 16, 1u << 18}) {
+  for (std::uint64_t n :
+       bench::sweep(smoke, {1u << 12, 1u << 14, 1u << 16, 1u << 18})) {
     sched::SimExecutor ex(cfg);
     auto buf = ex.make_buf<algo::cplx>(n);
     for (auto& v : buf.raw()) v = algo::cplx(1.0, 0.0);
@@ -60,9 +61,10 @@ void run_on_machine(const hm::MachineConfig& cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke(argc, argv);
   bench::print_header("Theorem 2 / Figure 3: MO-FFT");
-  run_on_machine(hm::MachineConfig::shared_l2(4));
-  run_on_machine(hm::MachineConfig::three_level(4, 4));
+  run_on_machine(hm::MachineConfig::shared_l2(4), smoke);
+  run_on_machine(hm::MachineConfig::three_level(4, 4), smoke);
   return 0;
 }

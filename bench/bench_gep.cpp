@@ -26,14 +26,14 @@ using Mat = sched::MatView<Ref>;
 
 template <class Inst>
 void sweep_instance(const hm::MachineConfig& cfg, const std::string& name,
-                    bool diag_dominant) {
+                    bool diag_dominant, bool smoke) {
   std::vector<bench::Series> miss(cfg.cache_levels());
   for (std::uint32_t lvl = 1; lvl <= cfg.cache_levels(); ++lvl) {
     miss[lvl - 1].name = name + " L" + std::to_string(lvl) +
                          " misses vs n^3/(q_i B_i sqrt(C_i))";
   }
   bench::Series steps{name + " parallel steps vs n^3/p"};
-  for (std::uint64_t n : {32u, 64u, 128u, 256u}) {
+  for (std::uint64_t n : bench::sweep(smoke, {32u, 64u, 128u, 256u})) {
     sched::SimExecutor ex(cfg);
     auto buf = ex.make_buf<double>(n * n);
     util::Xoshiro256 rng(n);
@@ -58,7 +58,8 @@ void sweep_instance(const hm::MachineConfig& cfg, const std::string& name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke(argc, argv);
   bench::print_header("Theorem 5 / Figure 5: I-GEP under SB");
   // Small caches so the sweep reaches the n^2 >> C_i regime of Theorem 5 at
   // simulable sizes (with desktop-scale caches the whole matrix fits in L2
@@ -68,13 +69,13 @@ int main() {
                                hm::LevelSpec{8192, 16, 4}});
   bench::print_machine(cfg);
 
-  sweep_instance<algo::FloydWarshallInstance>(cfg, "FW", false);
-  sweep_instance<algo::GaussianInstance>(cfg, "Gaussian", true);
+  sweep_instance<algo::FloydWarshallInstance>(cfg, "FW", false, smoke);
+  sweep_instance<algo::GaussianInstance>(cfg, "Gaussian", true, smoke);
 
   // Matrix multiplication: I-GEP function D invoked directly.
   {
     bench::Series miss{"matmul (fn D) L1 misses vs n^3/(q_1 B_1 sqrt(C_1))"};
-    for (std::uint64_t n : {32u, 64u, 128u, 256u}) {
+    for (std::uint64_t n : bench::sweep(smoke, {32u, 64u, 128u, 256u})) {
       sched::SimExecutor ex(cfg);
       auto c = ex.make_buf<double>(n * n);
       auto a = ex.make_buf<double>(n * n);
@@ -96,7 +97,7 @@ int main() {
   // Baseline: the Figure-5 loop.
   {
     bench::Series loop{"GEP loop (baseline) L1 misses vs n^3/(q_1 B_1)"};
-    for (std::uint64_t n : {32u, 64u, 128u, 256u}) {
+    for (std::uint64_t n : bench::sweep(smoke, {32u, 64u, 128u, 256u})) {
       sched::SimExecutor ex(cfg);
       auto buf = ex.make_buf<double>(n * n);
       for (auto& v : buf.raw()) v = 1.0;

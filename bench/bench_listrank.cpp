@@ -44,7 +44,8 @@ List random_list(std::uint64_t n, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke(argc, argv);
   bench::print_header("Theorem 7: MO-LR list ranking");
   const hm::MachineConfig cfg = hm::MachineConfig::shared_l2(4);
   bench::print_machine(cfg);
@@ -54,7 +55,8 @@ int main() {
   bench::Series chase{"sequential chase L1 misses vs n (one per hop)"};
   util::Table t({"n", "work", "span", "T_p (p=4)", "T_1", "speedup"});
 
-  for (std::uint64_t n : {1u << 11, 1u << 12, 1u << 13, 1u << 14}) {
+  for (std::uint64_t n :
+       bench::sweep(smoke, {1u << 11, 1u << 12, 1u << 13, 1u << 14})) {
     const List li = random_list(n, n);
     sched::SimExecutor ex(cfg);
     auto sb = ex.make_buf<std::uint64_t>(n);

@@ -19,7 +19,7 @@ using namespace obliv;
 
 namespace {
 
-void run_on_machine(const hm::MachineConfig& cfg) {
+void run_on_machine(const hm::MachineConfig& cfg, bool smoke) {
   bench::print_machine(cfg);
   std::vector<bench::Series> miss_series(cfg.cache_levels());
   for (std::uint32_t lvl = 1; lvl <= cfg.cache_levels(); ++lvl) {
@@ -31,7 +31,7 @@ void run_on_machine(const hm::MachineConfig& cfg) {
   bench::Series span_rec{"recursive transpose span vs (n^2/p + B_1 log n)"};
   bench::Series naive{"naive transpose L1 misses vs n^2/q_1 (no 1/B)"};
 
-  for (std::uint64_t n : {128u, 256u, 512u, 1024u}) {
+  for (std::uint64_t n : bench::sweep(smoke, {128u, 256u, 512u, 1024u})) {
     sched::SimExecutor ex(cfg);
     auto a = ex.make_buf<double>(n * n);
     auto out = ex.make_buf<double>(n * n);
@@ -70,10 +70,11 @@ void run_on_machine(const hm::MachineConfig& cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke(argc, argv);
   bench::print_header("Theorem 1 / Figure 2: MO-MT matrix transposition");
-  run_on_machine(hm::MachineConfig::shared_l2(4));
-  run_on_machine(hm::MachineConfig::three_level(4, 4));
-  run_on_machine(hm::MachineConfig::figure1());
+  run_on_machine(hm::MachineConfig::shared_l2(4), smoke);
+  run_on_machine(hm::MachineConfig::three_level(4, 4), smoke);
+  run_on_machine(hm::MachineConfig::figure1(), smoke);
   return 0;
 }

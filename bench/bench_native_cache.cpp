@@ -14,6 +14,7 @@
 #include "algo/fft.hpp"
 #include "algo/gep.hpp"
 #include "algo/transpose.hpp"
+#include "bench/common.hpp"
 #include "sched/native_executor.hpp"
 #include "util/perf_counters.hpp"
 #include "util/rng.hpp"
@@ -50,7 +51,8 @@ std::string fmt_opt(const std::optional<std::uint64_t>& v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke(argc, argv);
   std::cout << "==== Native hardware-counter comparison ====\n";
   {
     util::PerfCounterGroup probe({util::PerfEvent::kInstructions});
@@ -65,7 +67,7 @@ int main() {
   util::Table t({"workload", "ms", "LLC misses", "L1D read misses"});
   // Transposition: MO-MT vs naive strided.
   {
-    const std::uint64_t n = 2048;
+    const std::uint64_t n = smoke ? 256 : 2048;
     auto a = ex.make_buf<double>(n * n);
     auto out = ex.make_buf<double>(n * n);
     for (auto& v : a.raw()) v = rng.uniform();
@@ -81,7 +83,7 @@ int main() {
   }
   // GEP: I-GEP vs the k-major loop.
   {
-    const std::uint64_t n = 512;
+    const std::uint64_t n = smoke ? 128 : 512;
     auto buf = ex.make_buf<double>(n * n);
     using Mat = sched::MatView<sched::NatRef<double>>;
     for (auto& v : buf.raw()) v = rng.uniform();

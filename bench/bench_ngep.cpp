@@ -29,14 +29,17 @@ std::vector<double> rand_matrix(std::uint64_t n, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke(argc, argv);
   bench::print_header("Table I / Theorem 6: N-GEP (D vs D*)");
 
   // (1) D vs D* communication across (p, B) folds, n = 128, N = 256 PEs.
   {
-    const std::uint64_t n = 128, pes = 256;
-    std::vector<no::FoldConfig> folds = {
-        {16, 4}, {64, 4}, {256, 4}, {64, 16}};
+    const std::uint64_t n = smoke ? 32 : 128, pes = smoke ? 64 : 256;
+    std::vector<no::FoldConfig> folds =
+        smoke ? std::vector<no::FoldConfig>{{16, 4}, {64, 4}}
+              : std::vector<no::FoldConfig>{
+                    {16, 4}, {64, 4}, {256, 4}, {64, 16}};
     util::Table t({"fold (p,B)", "comm D", "comm D*", "D/D*"});
     std::vector<std::uint64_t> cd(folds.size()), cs(folds.size());
     {
@@ -69,7 +72,7 @@ int main() {
   {
     bench::Series s{"N-GEP(D*) comm vs n^2/(sqrt(p)B), p=64, B=4"};
     bench::Series comp{"N-GEP(D*) computation vs n^3/p"};
-    for (std::uint64_t n : {32u, 64u, 128u, 256u}) {
+    for (std::uint64_t n : bench::sweep(smoke, {32u, 64u, 128u, 256u})) {
       auto x = rand_matrix(n, 2);
       no::NoMachine mach(256, {{64, 4}});
       no::n_gep<algo::FloydWarshallInstance>(mach, x, n, true);
@@ -85,12 +88,13 @@ int main() {
   // (2b) p-sweep at fixed n: comm vs n^2/(sqrt(p) B).
   {
     bench::Series s{"N-GEP(D*) comm vs n^2/(sqrt(p)B), n=128, B=4"};
-    for (std::uint32_t p : {4u, 16u, 64u, 256u}) {
-      auto x = rand_matrix(128, 3);
+    const std::uint64_t n = smoke ? 64 : 128;
+    for (std::uint32_t p : bench::sweep(smoke, {4u, 16u, 64u, 256u})) {
+      auto x = rand_matrix(n, 3);
       no::NoMachine mach(256, {{p, 4}});
-      no::n_gep<algo::FloydWarshallInstance>(mach, x, 128, true);
+      no::n_gep<algo::FloydWarshallInstance>(mach, x, n, true);
       s.add(double(p), double(mach.communication(0)),
-            128.0 * 128.0 / (std::sqrt(double(p)) * 4.0));
+            double(n) * double(n) / (std::sqrt(double(p)) * 4.0));
     }
     bench::print_series(s, "p");
   }
@@ -98,7 +102,7 @@ int main() {
   // (4) D-BSP communication time under mesh-like g.
   {
     util::Table t({"n", "D-BSP time (D)", "D-BSP time (D*)"});
-    for (std::uint64_t n : {32u, 64u, 128u}) {
+    for (std::uint64_t n : bench::sweep(smoke, {32u, 64u, 128u})) {
       double td, ts;
       {
         auto x = rand_matrix(n, 4);

@@ -30,13 +30,14 @@ algo::EdgeList random_graph(std::uint64_t n, std::uint64_t m,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke(argc, argv);
   bench::print_header("Theorem 10: NO connected components on M(p, B)");
 
   {
     bench::Series comm{"NO-CC communication vs (N~/(pB)) log n, p=8, B=4"};
     bench::Series comp{"NO-CC computation vs (N~/p) log2 n, p=8"};
-    for (std::uint64_t n : {512u, 1024u, 2048u, 4096u}) {
+    for (std::uint64_t n : bench::sweep(smoke, {512u, 1024u, 2048u, 4096u})) {
       const algo::EdgeList g = random_graph(n, 2 * n, n);
       no::NoMachine mach(32, {{8, 4}});
       no::no_connected_components(mach, g);
@@ -53,8 +54,10 @@ int main() {
 
   {
     util::Table t({"p", "communication (B=4)", "computation"});
-    const algo::EdgeList g = random_graph(2048, 4096, 3);
-    for (std::uint32_t p : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const std::uint64_t pn = smoke ? 512 : 2048;
+    const algo::EdgeList g = random_graph(pn, 2 * pn, 3);
+    for (std::uint32_t p :
+         bench::sweep(smoke, {1u, 2u, 4u, 8u, 16u, 32u}, 3)) {
       no::NoMachine mach(32, {{p, 4}});
       no::no_connected_components(mach, g);
       t.add_row({util::Table::fmt(std::uint64_t(p)),

@@ -38,14 +38,16 @@ void make_list(std::uint64_t n, std::uint64_t seed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke(argc, argv);
   bench::print_header("Theorem 9: NO-LR on M(p, B)");
 
   // (1)+(2): n-sweep on fixed folds.
   {
     bench::Series comm{"NO-LR communication vs n/(pB) * log n, p=8, B=4"};
     bench::Series comp{"NO-LR computation vs (n/p) log2 n, p=8"};
-    for (std::uint64_t n : {1u << 10, 1u << 11, 1u << 12, 1u << 13}) {
+    for (std::uint64_t n :
+         bench::sweep(smoke, {1u << 10, 1u << 11, 1u << 12, 1u << 13})) {
       std::vector<std::uint64_t> succ, pred;
       make_list(n, n, succ, pred);
       no::NoMachine mach(32, {{8, 4}});
@@ -62,7 +64,7 @@ int main() {
   // p-sweep at fixed n: computation must scale down with p.
   {
     util::Table t({"p", "communication (B=4)", "computation"});
-    const std::uint64_t n = 1 << 12;
+    const std::uint64_t n = smoke ? 1 << 10 : 1 << 12;
     std::vector<std::uint64_t> succ, pred;
     make_list(n, 5, succ, pred);
     for (std::uint32_t p : {1u, 2u, 4u, 8u, 16u, 32u}) {
@@ -79,7 +81,7 @@ int main() {
   // B-sweep: blocks amortize words.
   {
     util::Table t({"B", "communication (p=8)"});
-    const std::uint64_t n = 1 << 12;
+    const std::uint64_t n = smoke ? 1 << 10 : 1 << 12;
     std::vector<std::uint64_t> succ, pred;
     make_list(n, 6, succ, pred);
     for (std::uint64_t B : {1u, 2u, 4u, 8u, 16u}) {

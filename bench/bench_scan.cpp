@@ -16,7 +16,8 @@
 
 using namespace obliv;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke(argc, argv);
   bench::print_header("Table II row 1: prefix sums");
   const hm::MachineConfig cfg = hm::MachineConfig::three_level(4, 4);
   bench::print_machine(cfg);
@@ -27,7 +28,8 @@ int main() {
                          " misses vs n/(q_i B_i)";
   }
   bench::Series span{"scan span vs n/p + B_1 log2 n"};
-  for (std::uint64_t n : {1u << 14, 1u << 16, 1u << 18, 1u << 20}) {
+  for (std::uint64_t n :
+       bench::sweep(smoke, {1u << 14, 1u << 16, 1u << 18, 1u << 20})) {
     sched::SimExecutor ex(cfg);
     auto buf = ex.make_buf<std::int64_t>(n);
     for (auto& v : buf.raw()) v = 1;
@@ -46,7 +48,7 @@ int main() {
   // NO prefix sums: communication vs log-ish growth on M(p, B).
   {
     util::Table t({"n", "comm (p=8,B=4)", "supersteps"});
-    for (std::uint64_t n : {1u << 10, 1u << 12, 1u << 14}) {
+    for (std::uint64_t n : bench::sweep(smoke, {1u << 10, 1u << 12, 1u << 14})) {
       no::NoMachine mach(32, {{8, 4}});
       std::vector<std::uint64_t> xs(n, 1);
       no::no_prefix_sum(mach, xs);

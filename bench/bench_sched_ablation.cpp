@@ -64,7 +64,8 @@ sched::RunMetrics run_sort(const hm::MachineConfig& cfg, bool slice,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke(argc, argv);
   bench::print_header("Scheduler ablations (Section II tension, DESIGN.md)");
   // 16 cores, 4 L2 caches: anchoring has real choices to make.
   const hm::MachineConfig cfg("abl", {hm::LevelSpec{256, 8, 1},
@@ -75,7 +76,7 @@ int main() {
   {
     util::Table t({"workload", "L1 max misses (SB)", "L1 max misses (slice)",
                    "slice/SB"});
-    for (std::uint64_t n : {64u, 128u, 256u}) {
+    for (std::uint64_t n : bench::sweep(smoke, {64u, 128u, 256u})) {
       const auto sb = run_gep(cfg, false, n);
       const auto sl = run_gep(cfg, true, n);
       t.add_row({"I-GEP FW n=" + std::to_string(n),
@@ -85,7 +86,7 @@ int main() {
                                       double(sb.level_max_misses[0]),
                                   "%.2f")});
     }
-    for (std::uint64_t n : {1u << 14, 1u << 16}) {
+    for (std::uint64_t n : bench::sweep(smoke, {1u << 14, 1u << 16}, 1)) {
       const auto sb = run_sort(cfg, false, n);
       const auto sl = run_sort(cfg, true, n);
       t.add_row({"SPMS n=" + std::to_string(n),
@@ -112,8 +113,8 @@ int main() {
   {
     util::Table t({"m subtasks", "span (t=max(i,j))", "span (t=i only)",
                    "fit-only/paper"});
-    const std::uint64_t inner = 1 << 16;
-    for (std::uint64_t m : {2u, 4u, 8u, 16u}) {
+    const std::uint64_t inner = smoke ? 1 << 12 : 1 << 16;
+    for (std::uint64_t m : bench::sweep(smoke, {2u, 4u, 8u, 16u})) {
       std::uint64_t span[2];
       for (int mode = 0; mode < 2; ++mode) {
         sched::SimPolicy policy;
@@ -142,7 +143,7 @@ int main() {
   {
     util::Table t({"n (x20 passes)", "pingpong (B1-aligned)",
                    "pingpong (unaligned)"});
-    for (std::uint64_t n : {1000u, 4000u, 16000u}) {
+    for (std::uint64_t n : bench::sweep(smoke, {1000u, 4000u, 16000u})) {
       std::uint64_t pp[2] = {0, 0};
       for (int mode = 0; mode < 2; ++mode) {
         sched::SimPolicy policy;
@@ -166,14 +167,16 @@ int main() {
 
   // Native executor ablation: work stealing vs shared queue, wall clock.
   {
-    const int reps = 3;
+    const int reps = smoke ? 1 : 3;
+    const std::vector<unsigned> thread_counts =
+        bench::sweep(smoke, {1u, 2u, 4u, 8u});
     util::Table t({"workload", "threads", "steal ns/op", "steal T1/Tp",
                    "sharedq ns/op", "sharedq T1/Tp"});
     const auto sweep = [&](const std::string& name,
                            const std::function<std::function<void()>(
                                sched::NativeExecutor&)>& make) {
       double base_steal = 0, base_sq = 0;
-      for (unsigned threads : {1u, 2u, 4u, 8u}) {
+      for (unsigned threads : thread_counts) {
         sched::NativeExecutor ws(threads, 1 << 12,
                                  sched::SchedMode::kWorkSteal);
         auto run_ws = make(ws);

@@ -53,7 +53,7 @@ using namespace obliv;
 
 namespace {
 
-constexpr int kReps = 9;
+int g_reps = 9;  // dropped to 2 under --smoke
 
 using Trace = std::vector<sched::TraceEntry>;
 
@@ -269,19 +269,22 @@ void add_gep(const hm::MachineConfig& cfg, std::uint64_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke(argc, argv);
+  if (smoke) g_reps = 2;
   bench::print_header("Simulator throughput (simulated word accesses/sec)");
+  const std::uint64_t raw_n = smoke ? 1u << 16 : 1u << 20;
   const hm::MachineConfig cfgs[] = {hm::MachineConfig::shared_l2(4),
                                     hm::MachineConfig::figure1()};
   for (const auto& cfg : cfgs) {
     bench::print_machine(cfg);
-    add_trace("raw-seq-read", cfg, 1u << 20, make_seq(1u << 20));
-    add_trace("raw-run-read", cfg, 1u << 20, make_run(1u << 20));
-    add_trace("raw-part-rw", cfg, 1u << 20, make_part(cfg, 1u << 20));
-    add_scan(cfg, 1u << 16);
-    add_transpose(cfg, 128);
-    add_sort(cfg, 1u << 14);
-    add_gep(cfg, 64);
+    add_trace("raw-seq-read", cfg, raw_n, make_seq(raw_n));
+    add_trace("raw-run-read", cfg, raw_n, make_run(raw_n));
+    add_trace("raw-part-rw", cfg, raw_n, make_part(cfg, raw_n));
+    add_scan(cfg, smoke ? 1u << 12 : 1u << 16);
+    add_transpose(cfg, smoke ? 32 : 128);
+    add_sort(cfg, smoke ? 1u << 10 : 1u << 14);
+    add_gep(cfg, smoke ? 32 : 64);
   }
 
   // Counter-parity gate: the speedup claim only stands on identical
@@ -306,7 +309,7 @@ int main() {
                             ? nullptr
                             : std::make_unique<bench::BaselineCacheSim>(r.cfg));
   }
-  for (int r = 0; r < kReps; ++r) {
+  for (int r = 0; r < g_reps; ++r) {
     for (std::size_t i = 0; i < plan.size(); ++i) {
       Row& row = plan[i];
       if (row.trace.empty()) {
@@ -346,7 +349,7 @@ int main() {
       }
     }
     rec.add(row.bench, row.cfg.name(), row.n, row.words, rate_new, rate_base,
-            speedup, kReps);
+            speedup, g_reps);
     t.add_row({row.bench, row.cfg.name(), std::to_string(row.n),
                std::to_string(row.words),
                rate_base > 0 ? util::Table::fmt(rate_base / 1e6, "%.2f") : "-",

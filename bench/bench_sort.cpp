@@ -19,7 +19,7 @@ using namespace obliv;
 
 namespace {
 
-void run_on_machine(const hm::MachineConfig& cfg) {
+void run_on_machine(const hm::MachineConfig& cfg, bool smoke) {
   bench::print_machine(cfg);
   std::vector<bench::Series> miss(cfg.cache_levels());
   for (std::uint32_t lvl = 1; lvl <= cfg.cache_levels(); ++lvl) {
@@ -29,7 +29,8 @@ void run_on_machine(const hm::MachineConfig& cfg) {
   bench::Series work{"SPMS work vs n log2 n"};
   bench::Series merge{"mergesort L1 misses vs (n/(q_1 B_1)) log2(n/C_1)"};
 
-  for (std::uint64_t n : {1u << 13, 1u << 14, 1u << 15, 1u << 16}) {
+  for (std::uint64_t n :
+       bench::sweep(smoke, {1u << 13, 1u << 14, 1u << 15, 1u << 16})) {
     util::Xoshiro256 rng(n);
     sched::SimExecutor ex(cfg);
     auto buf = ex.make_buf<std::uint64_t>(n);
@@ -60,9 +61,10 @@ void run_on_machine(const hm::MachineConfig& cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke(argc, argv);
   bench::print_header("Theorem 3: SPMS sorting");
-  run_on_machine(hm::MachineConfig::shared_l2(4));
-  run_on_machine(hm::MachineConfig::three_level(4, 4));
+  run_on_machine(hm::MachineConfig::shared_l2(4), smoke);
+  run_on_machine(hm::MachineConfig::three_level(4, 4), smoke);
   return 0;
 }

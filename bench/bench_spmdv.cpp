@@ -42,7 +42,8 @@ std::uint64_t run_case(const hm::MachineConfig& cfg,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke(argc, argv);
   bench::print_header("Theorem 4 / Figure 4: MO-SpM-DV");
   const hm::MachineConfig cfg = hm::MachineConfig::shared_l2(4);
   bench::print_machine(cfg);
@@ -52,7 +53,7 @@ int main() {
                        " misses vs (n/q)(1/B + 1/sqrt(C))"};
     bench::Series tree{"tree (eps=0, centroid order) L" +
                        std::to_string(lvl) + " misses vs (n/q)(1/B)"};
-    for (std::uint64_t side : {48u, 96u, 144u, 192u}) {
+    for (std::uint64_t side : bench::sweep(smoke, {48u, 96u, 144u, 192u})) {
       const std::uint64_t n = side * side;
       const double q = cfg.caches_at(lvl);
       grid.add(double(n),
@@ -70,8 +71,9 @@ int main() {
   // Ablation: separator order vs row-major vs scrambled, and the random
   // (expander) control -- L1 misses per nonzero.
   bench::print_header("Ablation: ordering & separator structure (L1)");
-  util::Table t({"matrix (n=36864)", "L1 misses", "misses/nnz"});
-  const std::uint64_t side = 192;
+  const std::uint64_t side = smoke ? 48 : 192;
+  util::Table t({"matrix (n=" + std::to_string(side * side) + ")",
+                 "L1 misses", "misses/nnz"});
   auto add_row = [&](const std::string& name, const algo::SparseMatrix& a) {
     const std::uint64_t misses = run_case(cfg, a, 1);
     t.add_row({name, util::Table::fmt(misses),

@@ -47,7 +47,8 @@ void add(const std::string& name, double tm, double tb, double cm, double cb,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke(argc, argv);
   bench::print_header("Table II: summary of results (regenerated)");
   const hm::MachineConfig cfg = hm::MachineConfig::shared_l2(4);
   bench::print_machine(cfg);
@@ -61,7 +62,7 @@ int main() {
 
   // ---- Prefix sum, n = 2^16. ----
   {
-    const std::uint64_t n = 1 << 16;
+    const std::uint64_t n = smoke ? 1 << 12 : 1 << 16;
     sched::SimExecutor ex(cfg);
     auto buf = ex.make_buf<std::int64_t>(n);
     for (auto& v : buf.raw()) v = 1;
@@ -77,7 +78,7 @@ int main() {
 
   // ---- Matrix transposition, n = 256. ----
   {
-    const std::uint64_t n = 256;
+    const std::uint64_t n = smoke ? 64 : 256;
     sched::SimExecutor ex(cfg);
     auto a = ex.make_buf<double>(n * n);
     auto out = ex.make_buf<double>(n * n);
@@ -96,7 +97,7 @@ int main() {
 
   // ---- Matrix multiplication, n = 128. ----
   {
-    const std::uint64_t n = 128;
+    const std::uint64_t n = smoke ? 32 : 128;
     sched::SimExecutor ex(cfg);
     auto c = ex.make_buf<double>(n * n);
     auto a = ex.make_buf<double>(n * n);
@@ -122,7 +123,7 @@ int main() {
 
   // ---- GEP (Floyd-Warshall), n = 128. ----
   {
-    const std::uint64_t n = 128;
+    const std::uint64_t n = smoke ? 32 : 128;
     sched::SimExecutor ex(cfg);
     auto buf = ex.make_buf<double>(n * n);
     for (auto& v : buf.raw()) v = rng.uniform();
@@ -142,12 +143,12 @@ int main() {
 
   // ---- FFT, n = 2^16. ----
   {
-    const std::uint64_t n = 1 << 16;
+    const std::uint64_t n = smoke ? 1 << 12 : 1 << 16;
     sched::SimExecutor ex(cfg);
     auto buf = ex.make_buf<algo::cplx>(n);
     for (auto& v : buf.raw()) v = algo::cplx(1.0, 0.0);
     const auto m = ex.run(6 * n, [&] { algo::mo_fft(ex, buf.ref()); });
-    const std::uint64_t no_n = 1 << 12;
+    const std::uint64_t no_n = smoke ? 1 << 10 : 1 << 12;
     no::NoMachine mach(no_n, {{no_p, no_b}});
     std::vector<algo::cplx> x(no_n, algo::cplx(1.0, 0.0));
     no::no_fft(mach, x);
@@ -163,12 +164,12 @@ int main() {
 
   // ---- Sorting, n = 2^16 (MO: SPMS; NO: columnsort). ----
   {
-    const std::uint64_t n = 1 << 16;
+    const std::uint64_t n = smoke ? 1 << 12 : 1 << 16;
     sched::SimExecutor ex(cfg);
     auto buf = ex.make_buf<std::uint64_t>(n);
     for (auto& v : buf.raw()) v = rng();
     const auto m = ex.run(4 * n, [&] { algo::spms_sort(ex, buf.ref()); });
-    const std::uint64_t no_n = 1 << 14;
+    const std::uint64_t no_n = smoke ? 1 << 10 : 1 << 14;
     const no::ColsortShape sh = no::colsort_shape(no_n);
     no::NoMachine mach(sh.s + 1, {{no_p, no_b}});
     std::vector<std::int64_t> keys(no_n);
@@ -184,7 +185,7 @@ int main() {
 
   // ---- List ranking, n = 2^13. ----
   {
-    const std::uint64_t n = 1 << 13;
+    const std::uint64_t n = smoke ? 1 << 10 : 1 << 13;
     std::vector<std::uint64_t> perm(n);
     std::iota(perm.begin(), perm.end(), 0);
     for (std::uint64_t i = n; i > 1; --i) {

@@ -33,6 +33,7 @@
 #include "algo/sort.hpp"
 #include "algo/transpose.hpp"
 #include "bench/common.hpp"
+#include "obs/trace.hpp"
 #include "sched/native_executor.hpp"
 #include "util/rng.hpp"
 
@@ -54,16 +55,17 @@ struct Workload {
   std::function<std::function<void()>(Exec&)> make;
 };
 
-std::vector<Workload> workloads() {
+std::vector<Workload> workloads(bool smoke) {
   std::vector<Workload> w;
   {
-    auto buf = std::make_shared<sched::NatBuf<double>>(1u << 20);
-    auto scratch = std::make_shared<sched::NatBuf<double>>(1u << 20);
+    const std::uint64_t n = smoke ? 1u << 16 : 1u << 20;
+    auto buf = std::make_shared<sched::NatBuf<double>>(n);
+    auto scratch = std::make_shared<sched::NatBuf<double>>(n);
     util::Xoshiro256 rng(1);
     for (auto& v : buf->raw()) v = rng.uniform();
     // In-place scans compound across repetitions (values eventually reach
     // inf); x86 adds run at full speed regardless, so timings are unbiased.
-    w.push_back({"scan", 1u << 20, [buf, scratch](Exec& ex) {
+    w.push_back({"scan", n, [buf, scratch](Exec& ex) {
                    return std::function<void()>([&ex, buf, scratch] {
                      algo::mo_scan_inclusive(ex, buf->ref(), scratch->ref(),
                                              [](double a, double b) {
@@ -73,7 +75,7 @@ std::vector<Workload> workloads() {
                  }});
   }
   {
-    const std::uint64_t n = 1024;
+    const std::uint64_t n = smoke ? 256 : 1024;
     auto a = std::make_shared<sched::NatBuf<double>>(n * n);
     auto out = std::make_shared<sched::NatBuf<double>>(n * n);
     util::Xoshiro256 rng(2);
@@ -85,7 +87,7 @@ std::vector<Workload> workloads() {
                  }});
   }
   {
-    const std::uint64_t n = 128;
+    const std::uint64_t n = smoke ? 64 : 128;
     auto c = std::make_shared<sched::NatBuf<double>>(n * n);
     auto a = std::make_shared<sched::NatBuf<double>>(n * n);
     auto b = std::make_shared<sched::NatBuf<double>>(n * n);
@@ -101,8 +103,9 @@ std::vector<Workload> workloads() {
                  }});
   }
   {
-    auto buf = std::make_shared<sched::NatBuf<std::uint64_t>>(1u << 16);
-    w.push_back({"sort", 1u << 16, [buf](Exec& ex) {
+    const std::uint64_t n = smoke ? 1u << 12 : 1u << 16;
+    auto buf = std::make_shared<sched::NatBuf<std::uint64_t>>(n);
+    w.push_back({"sort", n, [buf](Exec& ex) {
                    return std::function<void()>([&ex, buf] {
                      util::Xoshiro256 rng(4);
                      for (auto& v : buf->raw()) v = rng();
@@ -111,8 +114,9 @@ std::vector<Workload> workloads() {
                  }});
   }
   {
-    auto buf = std::make_shared<sched::NatBuf<algo::cplx>>(1u << 16);
-    w.push_back({"fft", 1u << 16, [buf](Exec& ex) {
+    const std::uint64_t n = smoke ? 1u << 12 : 1u << 16;
+    auto buf = std::make_shared<sched::NatBuf<algo::cplx>>(n);
+    w.push_back({"fft", n, [buf](Exec& ex) {
                    return std::function<void()>([&ex, buf] {
                      util::Xoshiro256 rng(5);
                      for (auto& v : buf->raw()) {
@@ -125,17 +129,69 @@ std::vector<Workload> workloads() {
   return w;
 }
 
+/// `--trace` mode: the same workloads on the work-steal backend with an
+/// obs::Tracer attached vs detached, reps interleaved traced/untraced so
+/// ambient load hits both columns equally.  Exports the last traced run of
+/// the first workload as a Chrome trace.
+int trace_overhead(bool smoke, int reps) {
+  bench::print_header("obs tracing overhead: work-steal backend");
+  const unsigned threads = 4;
+  std::printf("threads = %u, tracing compiled %s\n", threads,
+              obs::kTracingCompiledIn ? "in" : "out");
+  util::Table t({"workload", "untraced ns/op", "traced ns/op", "overhead"});
+  bool wrote = false;
+  for (const auto& w : workloads(smoke)) {
+    Exec ex(threads, 1 << 12, sched::SchedMode::kWorkSteal);
+    auto run = w.make(ex);
+    run();  // warm-up
+    obs::Tracer tracer(threads);
+    double off = 0, on = 0;
+    for (int r = 0; r < reps; ++r) {
+      const double a = bench::time_once_ns(run);
+      ex.set_tracer(&tracer);
+      const double b = bench::time_once_ns(run);
+      ex.set_tracer(nullptr);
+      if (r == 0 || a < off) off = a;
+      if (r == 0 || b < on) on = b;
+    }
+    t.add_row({w.name, util::Table::fmt(off, "%.0f"),
+               util::Table::fmt(on, "%.0f"),
+               util::Table::fmt(100.0 * (on - off) / off, "%+.1f%%")});
+    if (!wrote && obs::kTracingCompiledIn) {
+      wrote = obs::write_chrome_trace("wallclock_trace.json", tracer);
+    }
+  }
+  t.print(std::cout);
+  if (wrote) {
+    std::cout << "\nfirst workload's traced run -> wallclock_trace.json "
+                 "(events: spawn/steal/complete per worker)\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // bench_wallclock [--quick | --reps N]: more reps -> tighter minima on a
-  // noisy host.
+  // bench_wallclock [--quick | --reps N | --smoke | --trace]: more reps ->
+  // tighter minima on a noisy host; --trace measures obs tracing overhead
+  // instead of the backend comparison.
   int reps = 5;
-  if (argc > 1 && std::string(argv[1]) == "--quick") reps = 3;
-  if (argc > 2 && std::string(argv[1]) == "--reps") {
-    reps = std::max(1, std::atoi(argv[2]));
+  bool smoke = false, trace = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") reps = 3;
+    if (arg == "--reps" && i + 1 < argc) {
+      reps = std::max(1, std::atoi(argv[i + 1]));
+    }
+    if (arg == "--smoke") {
+      smoke = true;
+      reps = 1;
+    }
+    if (arg == "--trace") trace = true;
   }
-  const std::vector<unsigned> thread_counts{1, 2, 4, 8};
+  if (trace) return trace_overhead(smoke, smoke ? 1 : std::max(reps, 5));
+  const std::vector<unsigned> thread_counts =
+      smoke ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 2, 4, 8};
   const std::vector<std::pair<std::string, sched::SchedMode>> backends{
       {"steal", sched::SchedMode::kWorkSteal},
       {"sharedq", sched::SchedMode::kSharedQueue}};
@@ -148,7 +204,7 @@ int main(int argc, char** argv) {
       std::thread::hardware_concurrency());
 
   bench::JsonRecorder json("BENCH_wallclock.json");
-  for (const auto& w : workloads()) {
+  for (const auto& w : workloads(smoke)) {
     // One cell per (threads, backend); executors and buffers stay alive for
     // the whole workload so repetitions can interleave across cells.
     struct Cell {
@@ -200,6 +256,6 @@ int main(int argc, char** argv) {
     std::cout << "\n-- " << w.name << " (n=" << w.n << ") --\n";
     t.print(std::cout);
   }
-  json.write();
+  if (!smoke) json.write();  // smoke numbers would pollute the trajectory
   return 0;
 }

@@ -14,6 +14,7 @@
 #include <iostream>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hm/config.hpp"
@@ -24,6 +25,29 @@ namespace obliv::bench {
 
 inline void print_header(const std::string& title) {
   std::cout << "\n==== " << title << " ====\n";
+}
+
+/// True when the binary was invoked with --smoke.  Under --smoke a bench
+/// shrinks its sweeps to the smallest sizes that still exercise every code
+/// path and prints the same tables; bench/CMakeLists.txt registers every
+/// bench as a `ctest` entry with this flag, so bench bitrot is caught on
+/// every ctest invocation instead of the next manual bench run.
+inline bool smoke(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") return true;
+  }
+  return false;
+}
+
+/// A sweep that keeps only its first `keep` points under --smoke (two
+/// points still exercise the sweep loop and give loglog_slope something to
+/// fit, while skipping the large sizes that dominate a bench's runtime).
+template <class T>
+std::vector<T> sweep(bool smoke_mode, std::initializer_list<T> full,
+                     std::size_t keep = 2) {
+  std::vector<T> v(full);
+  if (smoke_mode && v.size() > keep) v.resize(keep);
+  return v;
 }
 
 inline void print_machine(const hm::MachineConfig& cfg) {

@@ -114,6 +114,12 @@ void CacheSim::coherence_write(std::uint32_t core, std::uint64_t blk1) {
   std::uint64_t others = mask & ~me;
   if (others != 0) {
     ++pingpong_;
+    if constexpr (obs::kTracingCompiledIn) {
+      if (tracer_ != nullptr) {
+        tracer_->emit_attributed(obs::EventKind::kPingPong, 0, core, blk1,
+                                 others);
+      }
+    }
     do {
       // p_1 == 1 (validated), so core c's L1 is caches_[0][c].
       const std::uint32_t c =
@@ -180,6 +186,13 @@ void CacheSim::touch_block(std::uint32_t core, std::uint64_t blk1, bool write,
     return;
   }
   ++c1.misses;
+  if constexpr (obs::kTracingCompiledIn) {
+    if (tracer_ != nullptr) {
+      tracer_->emit_attributed(obs::EventKind::kMiss, 1,
+                               obs::cache_lane(1, core), blk1,
+                               l1.last_evicted());
+    }
+  }
   if (l1.last_evicted() != ~0ull) {
     ++c1.evictions;
     l0_drop(core, l1.last_evicted());
@@ -228,6 +241,14 @@ void CacheSim::touch_block(std::uint32_t core, std::uint64_t blk1, bool write,
       return;
     }
     ++ctr.misses;
+    if constexpr (obs::kTracingCompiledIn) {
+      if (tracer_ != nullptr) {
+        tracer_->emit_attributed(obs::EventKind::kMiss,
+                                 static_cast<std::uint8_t>(lvl),
+                                 obs::cache_lane(lvl, idx), blk,
+                                 cache.last_evicted());
+      }
+    }
     if (cache.last_evicted() != ~0ull) ++ctr.evictions;
   }
 }

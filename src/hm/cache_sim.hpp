@@ -41,6 +41,7 @@
 
 #include "hm/config.hpp"
 #include "hm/flat_table.hpp"
+#include "obs/trace.hpp"
 
 namespace obliv::hm {
 
@@ -215,6 +216,14 @@ class CacheSim {
   /// exactly like per-word calls over the same range would).
   std::uint64_t total_accesses() const { return accesses_; }
 
+  /// Attaches an event tracer (nullptr detaches).  Misses, evictions and
+  /// ping-pongs are then emitted as obs events attributed to the tracer's
+  /// current task context; the L0/L1 hit fast paths never emit, so the
+  /// traced slowdown is bounded by the miss rate.  Emission sits behind
+  /// `if constexpr (obs::kTracingCompiledIn)`, so an OBLIV_TRACING=OFF
+  /// build pays nothing.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// Zeroes all counters but keeps cache contents (warm restart).
   void reset_stats();
 
@@ -297,6 +306,7 @@ class CacheSim {
   SharerTable sharers_;
   std::uint64_t pingpong_ = 0;
   std::uint64_t accesses_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace obliv::hm

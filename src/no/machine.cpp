@@ -39,6 +39,7 @@ void NoMachine::send(std::uint64_t src_pe, std::uint64_t dst_pe,
   if (src_pe == dst_pe || words == 0) return;
   superstep_dirty_ = true;
   total_words_ += words;
+  step_words_ += words;
   for (std::size_t f = 0; f < folds_.size(); ++f) {
     const std::uint32_t p = folds_[f].p;
     const std::uint64_t per = n_ / p;  // consecutive PEs per processor
@@ -89,9 +90,20 @@ void NoMachine::compute(std::uint64_t pe, std::uint64_t ops) {
   }
 }
 
+void NoMachine::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if constexpr (obs::kTracingCompiledIn) {
+    if (tracer != nullptr) {
+      tracer->set_logical_clock(&total_words_);
+      tracer->name_lane(obs::kSuperstepLane, "supersteps");
+    }
+  }
+}
+
 void NoMachine::end_superstep() {
   if (!superstep_dirty_) return;
   ++supersteps_;
+  std::uint64_t fold0_h = 0;
   for (std::size_t f = 0; f < folds_.size(); ++f) {
     FoldState& st = states_[f];
     const std::uint32_t p = folds_[f].p;
@@ -107,6 +119,7 @@ void NoMachine::end_superstep() {
     for (std::uint32_t r = 0; r < p; ++r) {
       h = std::max({h, out_blocks[r], in_blocks[r]});
     }
+    if (f == 0) fold0_h = h;
     st.comm_total += h;
     std::uint64_t w = 0;
     for (std::uint32_t r = 0; r < p; ++r) w = std::max(w, st.ops[r]);
@@ -133,6 +146,13 @@ void NoMachine::end_superstep() {
   }
   dbsp_worst_level_ =
       dbsp_.g.empty() ? 0 : static_cast<std::uint32_t>(dbsp_.g.size()) - 1;
+  if constexpr (obs::kTracingCompiledIn) {
+    if (tracer_ != nullptr) {
+      tracer_->emit(0, obs::EventKind::kSuperstep, 0, obs::kSuperstepLane,
+                    supersteps_ - 1, step_words_, fold0_h);
+    }
+  }
+  step_words_ = 0;
   superstep_dirty_ = false;
 }
 
@@ -246,6 +266,7 @@ void NoMachine::reset() {
       dbsp_.g.empty() ? 0 : static_cast<std::uint32_t>(dbsp_.g.size()) - 1;
   supersteps_ = 0;
   total_words_ = 0;
+  step_words_ = 0;
   superstep_dirty_ = false;
 }
 

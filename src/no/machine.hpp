@@ -22,6 +22,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace obliv::no {
 
 /// One folding M(p, B) under which complexity is measured.
@@ -84,6 +86,13 @@ class NoMachine {
   std::uint64_t supersteps() const { return supersteps_; }
   std::uint64_t total_message_words() const { return total_words_; }
 
+  /// Attaches an obs::Tracer (nullptr detaches): every superstep close
+  /// emits a kSuperstep event on lane obs::kSuperstepLane carrying the
+  /// superstep index, its message words, and the fold-0 per-processor block
+  /// maximum h.  The clock becomes the cumulative message-word counter, so
+  /// NO traces are deterministic like the sim's.
+  void set_tracer(obs::Tracer* tracer);
+
   void reset();
 
  private:
@@ -135,7 +144,9 @@ class NoMachine {
   double dbsp_time_ = 0;
   std::uint64_t supersteps_ = 0;
   std::uint64_t total_words_ = 0;
+  std::uint64_t step_words_ = 0;  // words declared in the open superstep
   bool superstep_dirty_ = false;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace obliv::no

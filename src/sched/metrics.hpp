@@ -1,9 +1,18 @@
 // Work/span and cache metrics reported by the simulated executor.
+//
+// RunMetrics stays the compact end-of-run aggregate the tests and benches
+// consume; the obs subsystem (src/obs/trace.hpp) subsumes it -- a Tracer's
+// CounterRegistry carries the same values as named counters (via
+// metrics_to_counters below) next to the scheduler counters RunMetrics never
+// had (hint dispatches, per-level anchor histogram), and the event rings
+// record the individual decisions behind the aggregates.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "obs/trace.hpp"
 
 namespace obliv::sched {
 
@@ -26,5 +35,21 @@ struct RunMetrics {
     return static_cast<double>(work) / p + static_cast<double>(span);
   }
 };
+
+/// Publishes a RunMetrics into a counter registry under the "run." prefix:
+/// run.work, run.span, run.pingpong, run.L<i>.max_misses,
+/// run.L<i>.total_misses.  The registry keeps whatever other counters the
+/// executors added, so the exported set is a strict superset of RunMetrics.
+inline void metrics_to_counters(const RunMetrics& m,
+                                obs::CounterRegistry& reg) {
+  reg.set("run.work", m.work);
+  reg.set("run.span", m.span);
+  reg.set("run.pingpong", m.pingpong);
+  for (std::size_t i = 0; i < m.level_max_misses.size(); ++i) {
+    const std::string lvl = "run.L" + std::to_string(i + 1);
+    reg.set(lvl + ".max_misses", m.level_max_misses[i]);
+    reg.set(lvl + ".total_misses", m.level_total_misses[i]);
+  }
+}
 
 }  // namespace obliv::sched

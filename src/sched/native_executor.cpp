@@ -81,6 +81,14 @@ void WorkStealingPool::run_root(Task& root) {
 void WorkStealingPool::fork(Task* t) {
   assert(tls_binding.pool == this);
   workers_[tls_binding.id]->deque.push_bottom(t);
+  if constexpr (obs::kTracingCompiledIn) {
+    if (tracer_ != nullptr) {
+      const unsigned id = tls_binding.id;
+      tracer_->emit(ring_for(id), obs::EventKind::kTaskSpawn, 0, id,
+                    reinterpret_cast<std::uintptr_t>(t),
+                    workers_[id]->deque.approx_size(), 0);
+    }
+  }
   // Wake at most a single helper; if it forks in turn it wakes the next
   // one, so the pool ramps up as a wake chain instead of a thundering herd
   // (one futex wake per fork instead of nworkers-1).  Wake-ups are purely a
@@ -100,6 +108,14 @@ bool WorkStealingPool::local_deque_empty() const {
 
 void WorkStealingPool::execute(Task* t) {
   t->run();
+  // Emit before publishing completion: `t` may be dead past the exchange.
+  if constexpr (obs::kTracingCompiledIn) {
+    if (tracer_ != nullptr) {
+      const unsigned id = tls_binding.id;
+      tracer_->emit(ring_for(id), obs::EventKind::kTaskComplete, 0, id,
+                    reinterpret_cast<std::uintptr_t>(t), 0, 0);
+    }
+  }
   // Single RMW: publish completion and learn whether a joiner sleeps on it
   // (see the Task handshake comment).  `t` may be dead past this line.
   if (t->finish_and_check_awaited()) notify(/*everyone=*/true);
@@ -112,7 +128,15 @@ Task* WorkStealingPool::try_steal(unsigned self) {
   for (unsigned k = 0; k < n; ++k, ++v) {
     if (v >= n) v = 0;
     if (v == self) continue;
-    if (Task* t = workers_[v]->deque.steal_top()) return t;
+    if (Task* t = workers_[v]->deque.steal_top()) {
+      if constexpr (obs::kTracingCompiledIn) {
+        if (tracer_ != nullptr) {
+          tracer_->emit(ring_for(self), obs::EventKind::kTaskSteal, 0, self,
+                        reinterpret_cast<std::uintptr_t>(t), v, 0);
+        }
+      }
+      return t;
+    }
   }
   return nullptr;
 }

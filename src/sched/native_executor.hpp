@@ -37,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sched/hints.hpp"
 #include "sched/ws_deque.hpp"
 
@@ -124,6 +125,14 @@ class WorkStealingPool {
   /// Convenience used by tests and sb_parallel: fork-join a task vector.
   void run_all(std::vector<std::function<void()>> tasks);
 
+  /// Attaches an obs::Tracer (nullptr detaches): task spawn / steal /
+  /// complete events with the deque depth at each spawn, one ring per
+  /// worker (ring index = worker id modulo the tracer's ring count -- give
+  /// the Tracer threads() rings for no aliasing).  Timestamps come from
+  /// steady_clock, so native traces are not deterministic.  Attach and
+  /// detach only while the pool is quiescent (no run_root in flight).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Worker {
     WsDeque<Task*> deque;
@@ -133,6 +142,10 @@ class WorkStealingPool {
   void worker_main(unsigned id);
   void execute(Task* t);
   Task* try_steal(unsigned self);
+  /// Ring owned by worker `id` under the current tracer.
+  std::uint32_t ring_for(unsigned id) const {
+    return static_cast<std::uint32_t>(id % tracer_->ring_count());
+  }
   bool have_stealable() const;
   void notify(bool everyone);
   template <class Pred>
@@ -150,6 +163,7 @@ class WorkStealingPool {
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<int> sleepers_{0};
   std::atomic<bool> stop_{false};
+  obs::Tracer* tracer_ = nullptr;
 };
 
 /// The original shared-queue fork-join pool (single mutex + condition
@@ -235,6 +249,21 @@ class NativeExecutor {
                    const std::function<void(std::uint64_t)>& body);
 
   void tick(std::uint64_t) {}
+
+  /// Forwards to the work-stealing pool (see WorkStealingPool::set_tracer)
+  /// and names one export lane per worker.  The shared-queue baseline emits
+  /// no events; the call is a no-op there.
+  void set_tracer(obs::Tracer* tracer) {
+    if (!ws_) return;
+    ws_->set_tracer(tracer);
+    if constexpr (obs::kTracingCompiledIn) {
+      if (tracer != nullptr) {
+        for (unsigned i = 0; i < ws_->threads(); ++i) {
+          tracer->name_lane(i, "worker " + std::to_string(i));
+        }
+      }
+    }
+  }
 
  private:
   std::unique_ptr<WorkStealingPool> ws_;

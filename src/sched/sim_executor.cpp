@@ -1,6 +1,7 @@
 #include "sched/sim_executor.hpp"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
 
 #include "util/bits.hpp"
@@ -13,6 +14,26 @@ SimExecutor::SimExecutor(hm::MachineConfig cfg, SimPolicy policy)
   cache_load_.resize(cfg_.cache_levels());
   for (std::uint32_t lvl = 1; lvl <= cfg_.cache_levels(); ++lvl) {
     cache_load_[lvl - 1].assign(cfg_.caches_at(lvl), 0);
+  }
+}
+
+void SimExecutor::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  cache_.set_tracer(tracer);
+  if constexpr (obs::kTracingCompiledIn) {
+    if (tracer != nullptr) {
+      tracer->set_logical_clock(&work_);
+      for (std::uint32_t c = 0; c < cfg_.cores(); ++c) {
+        tracer->name_lane(c, "core " + std::to_string(c));
+      }
+      for (std::uint32_t lvl = 1; lvl <= cfg_.cache_levels(); ++lvl) {
+        for (std::uint32_t i = 0; i < cfg_.caches_at(lvl); ++i) {
+          tracer->name_lane(obs::cache_lane(lvl, i),
+                            "L" + std::to_string(lvl) + " cache " +
+                                std::to_string(i));
+        }
+      }
+    }
   }
 }
 
@@ -48,12 +69,44 @@ RunMetrics SimExecutor::run(std::uint64_t space_words,
   work_ = 0;
   span_ = 0;
   rr_counter_ = 0;
+  next_task_id_ = 0;
   for (auto& row : cache_load_) std::fill(row.begin(), row.end(), 0);
   const std::uint32_t lvl = cfg_.smallest_level_fitting(space_words);
   ctx_ = Ctx{lvl, 0, 0};
+  if constexpr (obs::kTracingCompiledIn) {
+    if (tracer_ != nullptr) {
+      tally_ = SchedTally{};
+      tally_.anchors_per_level.assign(cfg_.h(), 0);
+      tracer_->set_task(0, lvl, 0);  // the root task is id 0
+      tracer_->emit(0, obs::EventKind::kTaskBegin, 0, /*tid=*/0, /*a=*/0,
+                    /*b=*/lvl, /*c=*/0);
+    }
+  }
   body();
+  if constexpr (obs::kTracingCompiledIn) {
+    if (tracer_ != nullptr) {
+      tracer_->emit(0, obs::EventKind::kTaskEnd, 0, /*tid=*/0, /*a=*/0,
+                    /*b=*/span_, /*c=*/0);
+    }
+  }
   ctx_ = Ctx{cfg_.h(), 0, 0};
-  return metrics();
+  RunMetrics m = metrics();
+  if constexpr (obs::kTracingCompiledIn) {
+    if (tracer_ != nullptr) {
+      obs::CounterRegistry& reg = tracer_->counters();
+      metrics_to_counters(m, reg);
+      reg.set("sched.tasks", next_task_id_);
+      reg.set("sched.hint.cgc", tally_.cgc);
+      reg.set("sched.hint.sb", tally_.sb);
+      reg.set("sched.hint.cgcsb", tally_.cgcsb);
+      reg.set("sched.sb.queued", tally_.sb_queued);
+      for (std::size_t i = 0; i < tally_.anchors_per_level.size(); ++i) {
+        reg.set("sched.anchor.L" + std::to_string(i + 1),
+                tally_.anchors_per_level[i]);
+      }
+    }
+  }
+  return m;
 }
 
 RunMetrics SimExecutor::metrics() const {
@@ -79,8 +132,28 @@ std::uint64_t SimExecutor::run_child(std::uint32_t level, std::uint32_t idx,
     core = cfg_.first_core_under(idx, level);
   }
   ctx_ = Ctx{level, idx, core};
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  if constexpr (obs::kTracingCompiledIn) {
+    if (tracer_ != nullptr) {
+      id = ++next_task_id_;
+      parent = tracer_->current_task();
+      if (level - 1 < tally_.anchors_per_level.size()) {
+        ++tally_.anchors_per_level[level - 1];
+      }
+      tracer_->set_task(id, level, idx);
+      tracer_->emit(0, obs::EventKind::kTaskBegin, 0, core, id, level, parent);
+    }
+  }
   fn();
   const std::uint64_t end = span_;
+  if constexpr (obs::kTracingCompiledIn) {
+    if (tracer_ != nullptr) {
+      tracer_->emit(0, obs::EventKind::kTaskEnd, 0, core, id, end - span_base,
+                    parent);
+      tracer_->set_task(parent, saved.anchor_level, saved.anchor_idx);
+    }
+  }
   ctx_ = saved;
   span_ = saved_span;
   return end;
@@ -112,6 +185,7 @@ void SimExecutor::cgc_pfor(
     base_len = util::ceil_div(t, chunks);
   }
 
+  trace_hint(Hint::kCgc, t, base_len);
   const std::uint64_t span_base = span_;
   std::uint64_t max_end = span_base;
   std::uint32_t j = 0;
@@ -119,6 +193,8 @@ void SimExecutor::cgc_pfor(
     const std::uint64_t end_i = std::min(hi, start + base_len);
     const std::uint32_t core = first_core + (j % P);
     // Each segment is anchored at the L1 cache of its core.
+    trace_anchor(obs::AnchorReason::kCgcSegment, (end_i - start) * wpi, 1,
+                 core);
     const std::uint64_t end =
         run_child(1, core, [&] { body(start, end_i); }, span_base);
     max_end = std::max(max_end, end);
@@ -137,6 +213,7 @@ void SimExecutor::cgc_pfor_each(
 
 void SimExecutor::sb_parallel(std::vector<SbTask> tasks) {
   if (tasks.empty()) return;
+  trace_hint(Hint::kSb, tasks.size(), 0);
   const std::uint32_t parent_level = ctx_.anchor_level;
   const std::uint64_t span_base = span_;
   std::uint64_t max_end = span_base;
@@ -146,11 +223,13 @@ void SimExecutor::sb_parallel(std::vector<SbTask> tasks) {
 
   for (SbTask& task : tasks) {
     std::uint32_t lvl, idx;
+    obs::AnchorReason reason;
     if (policy_.slice_mode) {
       // Baseline: ignore space bounds, round-robin tasks over cores.
       const std::uint32_t P = cores_under_ctx();
       lvl = 1;
       idx = first_core_under_ctx() + (rr_counter_++ % P);
+      reason = obs::AnchorReason::kSlice;
     } else {
       const std::uint32_t fit = cfg_.smallest_level_fitting(task.space_words);
       if (parent_level >= 2 && fit <= parent_level - 1 &&
@@ -163,17 +242,20 @@ void SimExecutor::sb_parallel(std::vector<SbTask> tasks) {
         }
         lvl = fit;
         idx = best;
+        reason = obs::AnchorReason::kSbFit;
       } else {
         // Too big for any cache strictly below the anchor: queue at the
         // anchor itself.
         lvl = parent_level;
         idx = ctx_.anchor_idx;
+        reason = obs::AnchorReason::kSbQueued;
       }
     }
     const std::uint64_t key = (static_cast<std::uint64_t>(lvl) << 32) | idx;
     auto it = ends.find(key);
     const std::uint64_t start = (it == ends.end()) ? span_base : it->second;
     const std::uint64_t w0 = work_;
+    trace_anchor(reason, task.space_words, lvl, idx);
     const std::uint64_t end = run_child(lvl, idx, task.body, start);
     if (lvl <= cfg_.cache_levels()) {
       cache_load_[lvl - 1][idx] += work_ - w0;
@@ -197,8 +279,10 @@ void SimExecutor::sb_parallel2(std::uint64_t space1,
 void SimExecutor::sb_seq(std::uint64_t space_words,
                          const std::function<void()>& body) {
   std::uint32_t lvl, idx;
+  obs::AnchorReason reason;
   const std::uint32_t parent_level = ctx_.anchor_level;
   const std::uint32_t fit = cfg_.smallest_level_fitting(space_words);
+  trace_hint(Hint::kSb, 1, space_words);
   if (!policy_.slice_mode && parent_level >= 2 && fit <= parent_level - 1 &&
       fit <= cfg_.cache_levels()) {
     auto [count, first] = caches_under_ctx(fit);
@@ -208,11 +292,14 @@ void SimExecutor::sb_seq(std::uint64_t space_words,
     }
     lvl = fit;
     idx = best;
+    reason = obs::AnchorReason::kSbFit;
   } else {
     lvl = parent_level;
     idx = ctx_.anchor_idx;
+    reason = obs::AnchorReason::kSbQueued;
   }
   const std::uint64_t w0 = work_;
+  trace_anchor(reason, space_words, lvl, idx);
   const std::uint64_t end = run_child(lvl, idx, body, span_);
   if (lvl <= cfg_.cache_levels()) cache_load_[lvl - 1][idx] += work_ - w0;
   span_ = end;
@@ -223,6 +310,7 @@ void SimExecutor::cgc_sb_pfor(
     const std::function<void(std::uint64_t)>& body) {
   if (count == 0) return;
   const std::uint32_t k = ctx_.anchor_level;
+  trace_hint(Hint::kCgcSb, count, space_words);
 
   if (policy_.slice_mode) {
     // Baseline: contiguous distribution over cores, ignoring space bounds.
@@ -235,6 +323,8 @@ void SimExecutor::cgc_sb_pfor(
       std::uint64_t local = span_base;
       for (std::uint64_t s = c * per; s < std::min(count, (c + 1) * per);
            ++s) {
+        trace_anchor(obs::AnchorReason::kSlice, space_words, 1,
+                     first_core + c);
         local = run_child(1, first_core + c, [&] { body(s); }, local);
       }
       max_end = std::max(max_end, local);
@@ -272,6 +362,7 @@ void SimExecutor::cgc_sb_pfor(
     const std::uint64_t s_hi = std::min<std::uint64_t>(count, (c + 1) * per);
     for (std::uint64_t s = s_lo; s < s_hi; ++s) {
       const std::uint64_t w0 = work_;
+      trace_anchor(obs::AnchorReason::kCgcSbSpread, space_words, t, first + c);
       local = run_child(t, first + c, [&] { body(s); }, local);
       if (t <= cfg_.cache_levels()) {
         cache_load_[t - 1][first + c] += work_ - w0;

@@ -30,6 +30,7 @@
 
 #include "hm/cache_sim.hpp"
 #include "hm/config.hpp"
+#include "obs/trace.hpp"
 #include "sched/hints.hpp"
 #include "sched/metrics.hpp"
 
@@ -120,6 +121,16 @@ class SimExecutor {
   /// MachineConfig caps cores at 64, so the core always fits TraceEntry.
   void set_trace(std::vector<TraceEntry>* out) { trace_ = out; }
 
+  /// Attaches an obs::Tracer (nullptr detaches): every hint dispatch,
+  /// anchoring decision, and task begin/end is emitted as a typed event,
+  /// cache misses are attributed to the anchored task (via
+  /// hm::CacheSim::set_tracer), the tracer's clock becomes this executor's
+  /// logical work counter (so event streams are deterministic and
+  /// goldenable), and run() publishes RunMetrics plus scheduler counters
+  /// into the tracer's CounterRegistry.  Export lanes are named after the
+  /// machine (cores and caches).  The tracer must outlive the runs.
+  void set_tracer(obs::Tracer* tracer);
+
   /// Charges `n` units of pure computation (no memory traffic).
   void tick(std::uint64_t n) {
     work_ += n;
@@ -191,6 +202,41 @@ class SimExecutor {
 
   std::uint32_t cores_under_ctx() const;
   std::uint32_t first_core_under_ctx() const;
+
+  // ---- obs emission helpers (no-ops when tracing is compiled out) ---------
+
+  /// Records a hint dispatch (detail = static_cast<uint8_t>(Hint)).
+  void trace_hint(Hint hint, std::uint64_t a, std::uint64_t b) {
+    if constexpr (obs::kTracingCompiledIn) {
+      if (tracer_ != nullptr) {
+        switch (hint) {
+          case Hint::kCgc: ++tally_.cgc; break;
+          case Hint::kSb: ++tally_.sb; break;
+          case Hint::kCgcSb: ++tally_.cgcsb; break;
+        }
+        tracer_->emit(0, obs::EventKind::kHintDispatch,
+                      static_cast<std::uint8_t>(hint), ctx_.core, a, b,
+                      next_task_id_ + 1);
+      }
+    }
+  }
+
+  /// Records an anchoring decision for the task run_child will create next
+  /// (task id next_task_id_ + 1 -- the sim is single-threaded, so the pair
+  /// is adjacent and unambiguous in the stream).
+  void trace_anchor(obs::AnchorReason reason, std::uint64_t space_words,
+                    std::uint32_t level, std::uint32_t idx) {
+    if constexpr (obs::kTracingCompiledIn) {
+      if (tracer_ != nullptr) {
+        if (reason == obs::AnchorReason::kSbQueued) ++tally_.sb_queued;
+        tracer_->emit(0, obs::EventKind::kAnchor,
+                      static_cast<std::uint8_t>(reason),
+                      obs::cache_lane(level, idx), space_words, level,
+                      next_task_id_ + 1);
+      }
+    }
+  }
+
   /// Number of level-`t` caches under the current anchor's shadow and the
   /// index of the first one.
   std::pair<std::uint32_t, std::uint32_t> caches_under_ctx(
@@ -212,6 +258,14 @@ class SimExecutor {
   std::uint64_t span_ = 0;
   std::uint64_t addr_top_ = 0;
   std::vector<TraceEntry>* trace_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint64_t next_task_id_ = 0;  // task ids for obs attribution
+  // Scheduler tallies published to the tracer's CounterRegistry at the end
+  // of run(); plain integers so decision paths never do string lookups.
+  struct SchedTally {
+    std::uint64_t cgc = 0, sb = 0, cgcsb = 0, sb_queued = 0;
+    std::vector<std::uint64_t> anchors_per_level;  // index level-1
+  } tally_;
   std::uint32_t rr_counter_ = 0;  // round-robin cursor for slice mode
   // cache_load_[level-1][idx]: accumulated work anchored at that cache,
   // used for the SB "least loaded" rule.

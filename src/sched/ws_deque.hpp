@@ -95,6 +95,14 @@ class WsDeque {
            top_.load(std::memory_order_relaxed);
   }
 
+  /// Approximate depth (same caveat as empty()); used by obs tracing to
+  /// record the deque pressure at each spawn.
+  std::size_t approx_size() const {
+    const std::int64_t d = bottom_.load(std::memory_order_relaxed) -
+                           top_.load(std::memory_order_relaxed);
+    return d > 0 ? static_cast<std::size_t>(d) : 0;
+  }
+
  private:
   struct Buffer {
     explicit Buffer(std::size_t capacity)

@@ -117,6 +117,24 @@ TEST(NGepSchedules, DStarUsesEachUVQuadrantOncePerRound) {
   check(detail::schedule_d(), false);
 }
 
+TEST(NGepSchedules, TableIVerbatimRecursiveCallOrder) {
+  // Table I of the paper, literally: D's two rounds fix the K half and
+  // enumerate X quadrants in row-major order; D* permutes the (a, b) -> k
+  // assignment so each U/V quadrant appears exactly once per round.  The
+  // structural tests above survive reorderings Table I does not allow, so
+  // this pins the exact recursive call order.
+  using detail::Child;
+  using detail::Round;
+  const std::vector<Round> d_expected = {
+      {Child{0, 0, 0}, Child{0, 1, 0}, Child{1, 0, 0}, Child{1, 1, 0}},
+      {Child{0, 0, 1}, Child{0, 1, 1}, Child{1, 0, 1}, Child{1, 1, 1}}};
+  const std::vector<Round> dstar_expected = {
+      {Child{0, 0, 0}, Child{0, 1, 1}, Child{1, 0, 1}, Child{1, 1, 0}},
+      {Child{0, 0, 1}, Child{0, 1, 0}, Child{1, 0, 0}, Child{1, 1, 1}}};
+  EXPECT_EQ(detail::schedule_d(), d_expected);
+  EXPECT_EQ(detail::schedule_dstar(), dstar_expected);
+}
+
 TEST(NGepSchedules, EveryXQuadrantGetsBothKHalves) {
   // Completeness: across the two rounds of D / D*, each X quadrant (a, b)
   // must be updated with k = 0 and k = 1 exactly once each.
