@@ -1,0 +1,196 @@
+#include "fault/crash_dump.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <exception>
+
+namespace obliv::fault {
+
+namespace {
+
+// Registration state.  The tracer pointer and path are written only from
+// install/uninstall (normal context) and read from the handler; the latch
+// makes the flush once-only even when several threads crash at once.
+std::atomic<const obs::Tracer*> g_tracer{nullptr};
+char g_path[512] = "obliv_crash_trace.json";
+std::atomic<bool> g_flushed{false};
+bool g_installed = false;
+
+constexpr int kSignals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT};
+struct sigaction g_old_actions[sizeof(kSignals) / sizeof(kSignals[0])];
+std::terminate_handler g_old_terminate = nullptr;
+
+/// Buffered async-signal-safe writer: hand-rolled formatting into a stack
+/// buffer, flushed with write(2).  No allocation, no stdio, no locale.
+class SafeWriter {
+ public:
+  explicit SafeWriter(int fd) : fd_(fd) {}
+  ~SafeWriter() { flush(); }
+
+  void put(const char* s, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (len_ == sizeof(buf_)) flush();
+      buf_[len_++] = s[i];
+    }
+  }
+  void str(const char* s) { put(s, std::strlen(s)); }
+  void sv(std::string_view s) { put(s.data(), s.size()); }
+
+  void u64(std::uint64_t v) {
+    char tmp[20];
+    int n = 0;
+    do {
+      tmp[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) {
+      const char c = tmp[--n];
+      put(&c, 1);
+    }
+  }
+
+  bool flush() {
+    std::size_t off = 0;
+    while (off < len_) {
+      const ssize_t w = ::write(fd_, buf_ + off, len_ - off);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        ok_ = false;
+        break;
+      }
+      off += static_cast<std::size_t>(w);
+    }
+    len_ = 0;
+    return ok_;
+  }
+
+  bool ok() const { return ok_; }
+
+ private:
+  int fd_;
+  char buf_[8192];
+  std::size_t len_ = 0;
+  bool ok_ = true;
+};
+
+void write_event(SafeWriter& w, const obs::Event& e, bool first) {
+  if (!first) w.str(",\n");
+  w.str("{\"name\":\"");
+  w.sv(obs::event_name(e.kind));
+  w.str("\",\"ph\":\"i\",\"ts\":");
+  w.u64(e.ts);
+  w.str(",\"pid\":1,\"tid\":");
+  w.u64(e.tid);
+  w.str(",\"s\":\"t\",\"args\":{\"detail\":");
+  w.u64(e.detail);
+  w.str(",\"a\":");
+  w.u64(e.a);
+  w.str(",\"b\":");
+  w.u64(e.b);
+  w.str(",\"c\":");
+  w.u64(e.c);
+  w.str("}}");
+}
+
+/// The flush body; factored out so both the handler and the public
+/// entry share it.  Signal-safe throughout.
+bool flush_locked(const obs::Tracer* tracer) {
+  const int fd = ::open(g_path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  SafeWriter w(fd);
+  w.str("{\"traceEvents\":[\n");
+  bool first = true;
+  for (std::uint32_t r = 0; r < tracer->ring_count(); ++r) {
+    tracer->ring(r).for_each([&](const obs::Event& e) {
+      write_event(w, e, first);
+      first = false;
+    });
+  }
+  w.str("\n],\n\"crash\":{\"rings\":");
+  w.u64(tracer->ring_count());
+  w.str(",\"events_pushed\":");
+  w.u64(tracer->events_pushed());
+  w.str(",\"events_dropped\":");
+  w.u64(tracer->events_dropped());
+  w.str("},\n\"counters\":{");
+  bool cfirst = true;
+  tracer->counters().for_each([&](const std::string& name, std::uint64_t v) {
+    if (!cfirst) w.str(",");
+    cfirst = false;
+    w.str("\"");
+    w.put(name.data(), name.size());
+    w.str("\":");
+    w.u64(v);
+  });
+  w.str("}}\n");
+  const bool ok = w.flush() && w.ok();
+  ::close(fd);
+  return ok;
+}
+
+void crash_signal_handler(int sig) {
+  flush_crash_trace();
+  // Restore the default disposition and re-raise so the process still dies
+  // with the original signal (core dumps, wait statuses, and CI reporting
+  // all keep working).
+  signal(sig, SIG_DFL);
+  raise(sig);
+}
+
+[[noreturn]] void crash_terminate_handler() {
+  flush_crash_trace();
+  if (g_old_terminate != nullptr) g_old_terminate();
+  ::abort();
+}
+
+}  // namespace
+
+void install_crash_handler(const obs::Tracer* tracer, const char* path) {
+  if (path != nullptr) {
+    std::strncpy(g_path, path, sizeof(g_path) - 1);
+    g_path[sizeof(g_path) - 1] = '\0';
+  }
+  g_tracer.store(tracer, std::memory_order_release);
+  g_flushed.store(false, std::memory_order_release);
+  if (g_installed) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &crash_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  for (std::size_t i = 0; i < sizeof(kSignals) / sizeof(kSignals[0]); ++i) {
+    sigaction(kSignals[i], &sa, &g_old_actions[i]);
+  }
+  g_old_terminate = std::set_terminate(&crash_terminate_handler);
+  g_installed = true;
+}
+
+void uninstall_crash_handler() noexcept {
+  g_tracer.store(nullptr, std::memory_order_release);
+  if (!g_installed) return;
+  for (std::size_t i = 0; i < sizeof(kSignals) / sizeof(kSignals[0]); ++i) {
+    sigaction(kSignals[i], &g_old_actions[i], nullptr);
+  }
+  std::set_terminate(g_old_terminate);
+  g_old_terminate = nullptr;
+  g_installed = false;
+}
+
+bool flush_crash_trace() noexcept {
+  const obs::Tracer* tracer = g_tracer.load(std::memory_order_acquire);
+  if (tracer == nullptr) return false;
+  if (g_flushed.exchange(true, std::memory_order_acq_rel)) return false;
+  return flush_locked(tracer);
+}
+
+void rearm_crash_flush() noexcept {
+  g_flushed.store(false, std::memory_order_release);
+}
+
+}  // namespace obliv::fault

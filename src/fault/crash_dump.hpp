@@ -1,0 +1,52 @@
+// Crash-safe post-mortem flush of the obs flight recorder.
+//
+// The obs::Tracer's per-worker rings are a flight recorder: they always hold
+// the last ~64K scheduling/cache events.  This module makes that recorder
+// survive the crash it was recording: install_crash_handler() registers
+// signal handlers (SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT) and a
+// std::terminate handler that serialize the registered tracer's rings and
+// counters to `obliv_crash_trace.json` before the process dies, so a wedged
+// fuzz seed or a scheduler bug leaves evidence instead of an empty core.
+//
+// The flush path is async-signal-safe by construction: no allocation, no
+// stdio, no std::string -- events are formatted into a stack buffer with
+// hand-rolled integer conversion and written with write(2).  The output is
+// a strict subset of the Chrome trace_event JSON schema the regular
+// exporter emits (instant events with the same arg names), so the same
+// tooling loads both, and -- because formatting is integer-only and ring
+// order is fixed -- a flush of a logical-clock tracer is byte-deterministic
+// (goldened in tests/test_fault_fuzz.cpp).
+//
+// Caveats, by design: the handler reads rings other threads may still be
+// writing (a flight recorder is torn by nature -- individual events may be
+// mid-overwrite, which the loader tolerates), and only ONE tracer can be
+// registered per process.  flush_crash_trace() is also callable directly,
+// which is how the golden test pins the format.
+#pragma once
+
+#include "obs/trace.hpp"
+
+namespace obliv::fault {
+
+/// Registers `tracer` for post-mortem flushing to `path` and installs the
+/// fatal-signal + terminate handlers (first call only; later calls just
+/// swap the tracer/path).  `tracer` must outlive the registration; nullptr
+/// is allowed and makes the handlers flush nothing.
+void install_crash_handler(const obs::Tracer* tracer,
+                           const char* path = "obliv_crash_trace.json");
+
+/// Deregisters the tracer and restores the previously-installed signal
+/// dispositions.  Safe to call when nothing is installed.
+void uninstall_crash_handler() noexcept;
+
+/// Serializes the registered tracer to the registered path right now
+/// (async-signal-safe; no allocation).  Returns false when no tracer is
+/// registered or the file cannot be written.  Idempotent per registration:
+/// concurrent/re-entrant calls flush once.
+bool flush_crash_trace() noexcept;
+
+/// Re-arms the once-only flush latch (between runs of a long-lived process
+/// or between test cases).
+void rearm_crash_flush() noexcept;
+
+}  // namespace obliv::fault

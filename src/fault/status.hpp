@@ -1,0 +1,134 @@
+// Typed error model for every public entry point of the library.
+//
+// The paper's theorems assume a *legal* HM machine description and a
+// well-formed program; nothing in the theory says what happens when a user
+// hands the system a hostile config (non-monotone cache sizes, zero block
+// length, absurd fan-outs) or the environment fails an allocation.  Before
+// this layer existed those paths ended in an assert, a std::terminate, or --
+// worse -- silent UB.  Every public constructor now has a non-throwing
+// `make()` companion returning Result<T>, and the legacy throwing paths
+// throw obliv::Error (which derives std::invalid_argument, so existing
+// EXPECT_THROW call sites keep working) instead of tripping raw asserts.
+//
+// Style notes: Status/Result are deliberately tiny value types -- no
+// std::expected (C++23) in a C++20 build, no exception machinery required
+// to *consume* them.  Result<T>::value() on an error throws the stored
+// error, which keeps test code terse while production code branches on
+// ok().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace obliv {
+
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidConfig,       ///< machine/fold description violates the model
+  kInvalidArgument,     ///< non-config argument out of range
+  kUnsupported,         ///< legal input outside implementation limits (>64
+                        ///< cores, absurd thread counts)
+  kResourceExhausted,   ///< allocation or thread-spawn failure
+  kInternal,            ///< invariant breach that is a library bug
+};
+
+inline std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidConfig: return "invalid_config";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// The typed exception thrown by legacy (constructor) entry points.  Derives
+/// std::invalid_argument so pre-existing catch/EXPECT_THROW sites that named
+/// the standard type continue to compile and pass unchanged.
+class Error : public std::invalid_argument {
+ public:
+  Error(ErrorCode code, const std::string& message)
+      : std::invalid_argument(message), code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Success-or-error value.  Default-constructed Status is success.
+class Status {
+ public:
+  Status() = default;
+
+  static Status error(ErrorCode code, std::string message) {
+    Status s;
+    s.code_ = code;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const noexcept { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  std::string to_string() const {
+    if (ok()) return "ok";
+    return std::string(error_code_name(code_)) + ": " + message_;
+  }
+
+  /// Bridges to the legacy throwing paths.
+  void throw_if_error() const {
+    if (!ok()) throw Error(code_, message_);
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Holds either a T or the Status explaining why there is none.
+template <class T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::error(ErrorCode::kInternal,
+                              "Result constructed from an ok Status");
+    }
+  }
+
+  bool ok() const noexcept { return value_.has_value(); }
+  const Status& status() const noexcept { return status_; }
+
+  /// Access to the held value; throws the stored error when there is none
+  /// (convenient in tests; production code checks ok() first).
+  T& value() & {
+    status_.throw_if_error();
+    return *value_;
+  }
+  const T& value() const& {
+    status_.throw_if_error();
+    return *value_;
+  }
+  T&& value() && {
+    status_.throw_if_error();
+    return std::move(*value_);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // ok iff value_ holds
+};
+
+}  // namespace obliv

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 
+#include "fault/fault.hpp"
+
 namespace obliv::hm {
 
 LruCache::LruCache(std::size_t lines)
@@ -75,6 +77,11 @@ void LruCache::clear() {
 }
 
 CacheSim::CacheSim(MachineConfig cfg) : cfg_(std::move(cfg)) {
+  // A MachineConfig that came through the validating ctor is fine, but a
+  // default-constructed (empty) or aggregate-mutated one would make the
+  // level-table loops below index out of bounds -- reject it here.
+  cfg_.validate();
+  fault::maybe_fail_alloc(fault::InjectSite::kAllocSim);
   const std::uint32_t L = cfg_.cache_levels();
   multicore_ = cfg_.cores() > 1;
   caches_.reserve(L);
@@ -106,6 +113,19 @@ CacheSim::CacheSim(MachineConfig cfg) : cfg_(std::move(cfg)) {
   b1_ = cfg_.block(1);
   b1_shift_ = shift_[0];
   counters1_ = counters_[0].data();
+}
+
+Result<CacheSim> CacheSim::make(MachineConfig cfg) noexcept {
+  try {
+    return CacheSim(std::move(cfg));
+  } catch (const Error& e) {
+    return Status::error(e.code(), e.what());
+  } catch (const std::bad_alloc&) {
+    return Status::error(ErrorCode::kResourceExhausted,
+                         "allocation failed while building CacheSim tables");
+  } catch (const std::exception& e) {
+    return Status::error(ErrorCode::kInternal, e.what());
+  }
 }
 
 void CacheSim::coherence_write(std::uint32_t core, std::uint64_t blk1) {

@@ -135,7 +135,17 @@ struct CacheCounters {
 /// The whole-hierarchy simulator.
 class CacheSim {
  public:
+  /// Validating constructor; re-checks `cfg` (a default-constructed or
+  /// hand-mutated MachineConfig would otherwise index empty level tables)
+  /// and throws obliv::Error on violation.  Prefer make() on untrusted
+  /// input.
   explicit CacheSim(MachineConfig cfg);
+
+  /// Non-throwing companion: validates the config and builds the simulator,
+  /// returning kInvalidConfig/kUnsupported for bad machines and
+  /// kResourceExhausted when table allocation fails (including injected
+  /// failures at fault::InjectSite::kAllocSim).
+  static Result<CacheSim> make(MachineConfig cfg) noexcept;
 
   // counters1_ points into counters_[0]; moves keep vector heap buffers so
   // the pointer survives, but copies would leave it dangling.

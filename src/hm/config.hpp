@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/status.hpp"
+
 namespace obliv::hm {
 
 /// Parameters of one cache level.
@@ -36,7 +38,17 @@ struct LevelSpec {
 class MachineConfig {
  public:
   MachineConfig() = default;
+
+  /// Validating constructor; throws obliv::Error (an std::invalid_argument)
+  /// on any structural violation.  Prefer make() on untrusted input.
   MachineConfig(std::string name, std::vector<LevelSpec> levels);
+
+  /// Non-throwing companion: returns the validated config or the typed
+  /// error explaining the violation.  This is the entry point for
+  /// user-supplied (potentially hostile) machine descriptions -- no
+  /// assert or abort is reachable through it.
+  static Result<MachineConfig> make(std::string name,
+                                    std::vector<LevelSpec> levels) noexcept;
 
   /// Number of cache levels (h - 1 in the paper's numbering).
   std::uint32_t cache_levels() const {
@@ -83,9 +95,16 @@ class MachineConfig {
   const std::string& name() const { return name_; }
   const std::vector<LevelSpec>& levels() const { return levels_; }
 
-  /// Checks all structural constraints of Section II; throws
-  /// std::invalid_argument with a diagnostic on violation.
+  /// Checks all structural constraints of Section II; throws obliv::Error
+  /// (derives std::invalid_argument) with a diagnostic on violation.
   void validate() const;
+
+  /// Non-throwing validation: ErrorCode::kInvalidConfig for structural
+  /// violations, kUnsupported for machines outside implementation limits
+  /// (e.g. > 64 cores -- the coherence sharer set is a 64-bit bitmask).
+  /// Fan-out products are checked in 64-bit with saturation, so absurd
+  /// p_i values cannot wrap a 32-bit core count back into range.
+  Status validate_status() const;
 
   /// One-line human-readable description (printed by bench headers).
   std::string describe() const;

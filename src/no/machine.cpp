@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
 
 #include "util/bits.hpp"
 
@@ -21,16 +22,67 @@ DbspConfig DbspConfig::mesh_like(std::uint32_t P) {
   return cfg;
 }
 
+namespace {
+
+/// Typed validation of an M(p, B) / D-BSP machine description.  Every
+/// violation below was previously an assert (compiled out of release
+/// builds) followed by a division by zero in send()/end_superstep().
+Status validate_machine(std::uint64_t n_pes,
+                        const std::vector<FoldConfig>& folds,
+                        const DbspConfig& dbsp) {
+  auto fail = [](const std::string& msg) {
+    return Status::error(ErrorCode::kInvalidConfig, "NoMachine: " + msg);
+  };
+  if (n_pes == 0) return fail("at least one processing element is required");
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    const std::string at = "fold " + std::to_string(f) + ": ";
+    if (folds[f].p == 0) return fail(at + "p must be positive");
+    if (folds[f].p > n_pes) {
+      return fail(at + "p = " + std::to_string(folds[f].p) +
+                  " exceeds the number of PEs (" + std::to_string(n_pes) +
+                  ")");
+    }
+    if (folds[f].block == 0) return fail(at + "block size must be positive");
+  }
+  if (dbsp.P > 0) {
+    if (dbsp.P > n_pes) return fail("D-BSP P exceeds the number of PEs");
+    if (dbsp.g.empty() || dbsp.g.size() != dbsp.B.size()) {
+      return fail("D-BSP g and B must be non-empty and equal-length");
+    }
+    for (std::size_t i = 0; i < dbsp.B.size(); ++i) {
+      if (dbsp.B[i] == 0) return fail("D-BSP block sizes must be positive");
+    }
+  }
+  return Status();
+}
+
+}  // namespace
+
 NoMachine::NoMachine(std::uint64_t n_pes, std::vector<FoldConfig> folds,
                      DbspConfig dbsp)
     : n_(n_pes), folds_(std::move(folds)), dbsp_(std::move(dbsp)) {
+  validate_machine(n_, folds_, dbsp_).throw_if_error();
   states_.resize(folds_.size());
   for (std::size_t f = 0; f < folds_.size(); ++f) {
-    assert(folds_[f].p >= 1 && folds_[f].p <= n_);
     states_[f].ops.assign(folds_[f].p, 0);
   }
   dbsp_worst_level_ =
       dbsp_.g.empty() ? 0 : static_cast<std::uint32_t>(dbsp_.g.size()) - 1;
+}
+
+Result<NoMachine> NoMachine::make(std::uint64_t n_pes,
+                                  std::vector<FoldConfig> folds,
+                                  DbspConfig dbsp) noexcept {
+  try {
+    return NoMachine(n_pes, std::move(folds), std::move(dbsp));
+  } catch (const Error& e) {
+    return Status::error(e.code(), e.what());
+  } catch (const std::bad_alloc&) {
+    return Status::error(ErrorCode::kResourceExhausted,
+                         "allocation failed while building NoMachine");
+  } catch (const std::exception& e) {
+    return Status::error(ErrorCode::kInternal, e.what());
+  }
 }
 
 void NoMachine::send(std::uint64_t src_pe, std::uint64_t dst_pe,

@@ -22,6 +22,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "fault/status.hpp"
 #include "obs/trace.hpp"
 
 namespace obliv::no {
@@ -46,8 +47,18 @@ struct DbspConfig {
 
 class NoMachine {
  public:
+  /// Validating constructor; throws obliv::Error when the machine is
+  /// degenerate (0 PEs, a fold with p == 0 / p > n_pes / block == 0, or an
+  /// inconsistent D-BSP description) -- each of those used to be a
+  /// release-mode division by zero.  Prefer make() on untrusted input.
   NoMachine(std::uint64_t n_pes, std::vector<FoldConfig> folds,
             DbspConfig dbsp = {});
+
+  /// Non-throwing companion returning the machine or a typed error
+  /// (kInvalidConfig for degenerate descriptions).
+  static Result<NoMachine> make(std::uint64_t n_pes,
+                                std::vector<FoldConfig> folds,
+                                DbspConfig dbsp = {}) noexcept;
 
   std::uint64_t pes() const { return n_; }
   const std::vector<FoldConfig>& folds() const { return folds_; }

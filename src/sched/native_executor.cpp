@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <system_error>
 
 #include "util/bits.hpp"
 
@@ -40,12 +43,31 @@ WorkStealingPool::WorkStealingPool(unsigned threads)
       ncores_(std::max(1u, std::thread::hardware_concurrency())) {
   workers_.reserve(nworkers_);
   for (unsigned i = 0; i < nworkers_; ++i) {
+    fault::maybe_fail_alloc(fault::InjectSite::kAllocSetup);
     workers_.push_back(std::make_unique<Worker>());
     workers_[i]->rng = 0x853c49e6748fea9bull + i;
   }
   threads_.reserve(nworkers_ > 0 ? nworkers_ - 1 : 0);
-  for (unsigned i = 1; i < nworkers_; ++i) {
-    threads_.emplace_back([this, i] { worker_main(i); });
+  try {
+    for (unsigned i = 1; i < nworkers_; ++i) {
+      fault::maybe_fail_alloc(fault::InjectSite::kAllocSetup);
+      threads_.emplace_back([this, i] { worker_main(i); });
+    }
+  } catch (...) {
+    // A mid-loop spawn failure (std::system_error, bad_alloc, or an
+    // injected kAllocSetup fault) must not leak the already-running
+    // workers: joinable std::threads terminate the process on destruction.
+    // Tear down exactly like the destructor, then rethrow so make() can
+    // surface kResourceExhausted.
+    stop_.store(true, std::memory_order_seq_cst);
+    {
+      std::lock_guard<std::mutex> lk(idle_mu_);
+      epoch_.fetch_add(1, std::memory_order_relaxed);
+    }
+    idle_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+    threads_.clear();
+    throw;
   }
 }
 
@@ -98,6 +120,12 @@ void WorkStealingPool::fork(Task* t) {
   // in notify()/idle_block()).  notify() therefore also skips the wake when
   // as many workers are already awake as the machine has cores --
   // oversubscribed thieves cannot add parallelism, only preemption.
+  //
+  // That progress argument is exactly why kWakeDrop is a *legal* fault:
+  // dropping this accelerator wake-up models a lost futex wake / unlucky
+  // preemption, and the schedule that results is one the pool could have
+  // produced anyway.
+  if (fault::inject(plan(), fault::InjectSite::kWakeDrop)) return;
   notify(/*everyone=*/false);
 }
 
@@ -107,6 +135,15 @@ bool WorkStealingPool::local_deque_empty() const {
 }
 
 void WorkStealingPool::execute(Task* t) {
+  if (fault::FaultPlan* p = fault::enabled(plan())) {
+    // Simulated preemption: hold the task hostage for a bounded window
+    // before running it.  Joiners sleep on the task's state word, not on a
+    // timeout, so a stalled task delays but never deadlocks them.
+    if (p->should(fault::InjectSite::kWorkerStall)) {
+      const std::uint32_t us = p->stall_us();
+      if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
+  }
   t->run();
   // Emit before publishing completion: `t` may be dead past the exchange.
   if constexpr (obs::kTracingCompiledIn) {
@@ -125,6 +162,14 @@ Task* WorkStealingPool::try_steal(unsigned self) {
   const unsigned n = nworkers_;
   if (n <= 1) return nullptr;
   unsigned v = static_cast<unsigned>(splitmix64(workers_[self]->rng) % n);
+  if (fault::FaultPlan* p = fault::enabled(plan())) {
+    // Adversarial victim selection: start the scan at a plan-chosen worker
+    // instead of the owner's PRNG.  Any starting point yields a legal
+    // schedule -- the scan still visits every victim once.
+    if (p->should(fault::InjectSite::kStealVictim)) {
+      v = p->pick(fault::InjectSite::kStealVictim, n);
+    }
+  }
   for (unsigned k = 0; k < n; ++k, ++v) {
     if (v >= n) v = 0;
     if (v == self) continue;
@@ -200,7 +245,16 @@ void WorkStealingPool::join(Task* t) {
   auto& deque = workers_[self]->deque;
   while (!t->finished()) {
     // Help first: drain our own deque (descendants of the current frame),
-    // then steal; block only when the whole machine is out of work.
+    // then steal; block only when the whole machine is out of work.  The
+    // kPopOrder fault inverts that preference for one round -- stealing
+    // (FIFO, coarse tasks) before popping (LIFO, own descendants) is the
+    // schedule a busy-stolen pool produces naturally, just made frequent.
+    if (fault::inject(plan(), fault::InjectSite::kPopOrder)) {
+      if (Task* s = try_steal(self)) {
+        execute(s);
+        continue;
+      }
+    }
     if (Task* w = deque.pop_bottom()) {
       execute(w);
       continue;
@@ -218,6 +272,12 @@ void WorkStealingPool::worker_main(unsigned id) {
   tls_binding = TlsBinding{this, id};
   auto& deque = workers_[id]->deque;
   for (;;) {
+    if (fault::inject(plan(), fault::InjectSite::kPopOrder)) {
+      if (Task* s = try_steal(id)) {
+        execute(s);
+        continue;
+      }
+    }
     if (Task* w = deque.pop_bottom()) {
       execute(w);
       continue;
@@ -457,6 +517,12 @@ NativeExecutor::NativeExecutor(unsigned threads,
                                std::uint64_t sequential_grain_words,
                                SchedMode mode)
     : grain_(std::max<std::uint64_t>(1, sequential_grain_words)) {
+  if (threads > kMaxThreads) {
+    throw Error(ErrorCode::kUnsupported,
+                "NativeExecutor: " + std::to_string(threads) +
+                    " worker threads requested; the implementation caps at " +
+                    std::to_string(kMaxThreads));
+  }
   const unsigned t = threads == 0
                          ? std::max(1u, std::thread::hardware_concurrency())
                          : threads;
@@ -470,6 +536,24 @@ NativeExecutor::NativeExecutor(unsigned threads,
     sq_ = std::make_unique<SharedQueuePool>(t);
   } else {
     ws_ = std::make_unique<WorkStealingPool>(t);
+  }
+}
+
+Result<NativeExecutor> NativeExecutor::make(unsigned threads,
+                                            std::uint64_t sequential_grain_words,
+                                            SchedMode mode) noexcept {
+  try {
+    return NativeExecutor(threads, sequential_grain_words, mode);
+  } catch (const Error& e) {
+    return Status::error(e.code(), e.what());
+  } catch (const std::bad_alloc&) {
+    return Status::error(ErrorCode::kResourceExhausted,
+                         "allocation failed during executor setup");
+  } catch (const std::system_error& e) {
+    return Status::error(ErrorCode::kResourceExhausted,
+                         std::string("thread spawn failed: ") + e.what());
+  } catch (const std::exception& e) {
+    return Status::error(ErrorCode::kInternal, e.what());
   }
 }
 

@@ -37,6 +37,8 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault.hpp"
+#include "fault/status.hpp"
 #include "obs/trace.hpp"
 #include "sched/hints.hpp"
 #include "sched/ws_deque.hpp"
@@ -133,6 +135,21 @@ class WorkStealingPool {
   /// detach only while the pool is quiescent (no run_root in flight).
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attaches a fault::FaultPlan (nullptr detaches) that perturbs
+  /// steal-victim selection (kStealVictim), inverts the pop-vs-steal help
+  /// order (kPopOrder), stalls workers before tasks (kWorkerStall), and
+  /// drops fork wake-ups (kWakeDrop -- legal per the fork() comment: a
+  /// wake-up accelerates parallelism but is never needed for progress;
+  /// completion notifies are exempt).  Every injection leaves the pool in a
+  /// state some legal schedule could reach, so results must be unchanged --
+  /// that is the property tests/test_fault_fuzz.cpp checks.  The pointer is
+  /// atomic because idle workers keep polling try_steal() even with no root
+  /// task in flight; still attach only between run_root calls so every task
+  /// of a run sees one plan.
+  void set_fault_plan(fault::FaultPlan* plan) {
+    fault_plan_.store(fault::enabled(plan), std::memory_order_release);
+  }
+
  private:
   struct Worker {
     WsDeque<Task*> deque;
@@ -142,6 +159,12 @@ class WorkStealingPool {
   void worker_main(unsigned id);
   void execute(Task* t);
   Task* try_steal(unsigned self);
+  // Acquire pairs with the release in set_fault_plan: a worker that sees
+  // the pointer must also see the plan's constructor writes (seed, site
+  // probabilities), since idle pollers can observe it mid-attach.
+  fault::FaultPlan* plan() const {
+    return fault_plan_.load(std::memory_order_acquire);
+  }
   /// Ring owned by worker `id` under the current tracer.
   std::uint32_t ring_for(unsigned id) const {
     return static_cast<std::uint32_t>(id % tracer_->ring_count());
@@ -164,6 +187,7 @@ class WorkStealingPool {
   std::atomic<int> sleepers_{0};
   std::atomic<bool> stop_{false};
   obs::Tracer* tracer_ = nullptr;
+  std::atomic<fault::FaultPlan*> fault_plan_{nullptr};
 };
 
 /// The original shared-queue fork-join pool (single mutex + condition
@@ -208,10 +232,27 @@ enum class SchedMode {
 
 class NativeExecutor {
  public:
-  /// threads == 0 selects std::thread::hardware_concurrency().
+  /// Largest accepted worker-thread request.  Each worker costs a kernel
+  /// thread plus a deque; beyond this the request is a config error, not a
+  /// resource to attempt (and fail half-way through) allocating.
+  static constexpr unsigned kMaxThreads = 4096;
+
+  /// threads == 0 selects std::thread::hardware_concurrency().  Throws
+  /// obliv::Error on absurd thread counts (> kMaxThreads) and propagates
+  /// allocation / thread-spawn failures; prefer make() on untrusted input.
   explicit NativeExecutor(unsigned threads = 0,
                           std::uint64_t sequential_grain_words = 1 << 12,
                           SchedMode mode = SchedMode::kAuto);
+
+  /// Non-throwing companion: kUnsupported for threads > kMaxThreads,
+  /// kResourceExhausted when pool setup fails (thread spawn or allocation,
+  /// including injected failures at fault::InjectSite::kAllocSetup -- the
+  /// partially-built pool is torn down cleanly first; see the
+  /// WorkStealingPool constructor).
+  static Result<NativeExecutor> make(unsigned threads = 0,
+                                     std::uint64_t sequential_grain_words =
+                                         1 << 12,
+                                     SchedMode mode = SchedMode::kAuto) noexcept;
 
   unsigned threads() const {
     return ws_ ? ws_->threads() : sq_->threads();
@@ -263,6 +304,12 @@ class NativeExecutor {
         }
       }
     }
+  }
+
+  /// Forwards to the work-stealing pool (see WorkStealingPool::
+  /// set_fault_plan); a no-op on the shared-queue baseline.
+  void set_fault_plan(fault::FaultPlan* plan) {
+    if (ws_) ws_->set_fault_plan(plan);
   }
 
  private:
@@ -326,6 +373,7 @@ class NatBuf {
 
 template <class T>
 NatBuf<T> NativeExecutor::make_buf(std::size_t n) {
+  fault::maybe_fail_alloc(fault::InjectSite::kAllocBuf);
   return NatBuf<T>(n);
 }
 

@@ -17,6 +17,20 @@ SimExecutor::SimExecutor(hm::MachineConfig cfg, SimPolicy policy)
   }
 }
 
+Result<SimExecutor> SimExecutor::make(hm::MachineConfig cfg,
+                                      SimPolicy policy) noexcept {
+  try {
+    return SimExecutor(std::move(cfg), policy);
+  } catch (const Error& e) {
+    return Status::error(e.code(), e.what());
+  } catch (const std::bad_alloc&) {
+    return Status::error(ErrorCode::kResourceExhausted,
+                         "allocation failed while building SimExecutor");
+  } catch (const std::exception& e) {
+    return Status::error(ErrorCode::kInternal, e.what());
+  }
+}
+
 void SimExecutor::set_tracer(obs::Tracer* tracer) {
   tracer_ = tracer;
   cache_.set_tracer(tracer);
@@ -107,6 +121,20 @@ RunMetrics SimExecutor::run(std::uint64_t space_words,
     }
   }
   return m;
+}
+
+Result<RunMetrics> SimExecutor::try_run(
+    std::uint64_t space_words, const std::function<void()>& body) noexcept {
+  try {
+    return run(space_words, body);
+  } catch (const Error& e) {
+    return Status::error(e.code(), e.what());
+  } catch (const std::bad_alloc&) {
+    return Status::error(ErrorCode::kResourceExhausted,
+                         "allocation failed during simulated run");
+  } catch (const std::exception& e) {
+    return Status::error(ErrorCode::kInternal, e.what());
+  }
 }
 
 RunMetrics SimExecutor::metrics() const {

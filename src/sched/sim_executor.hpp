@@ -28,6 +28,8 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault.hpp"
+#include "fault/status.hpp"
 #include "hm/cache_sim.hpp"
 #include "hm/config.hpp"
 #include "obs/trace.hpp"
@@ -70,7 +72,16 @@ struct TraceEntry {
 
 class SimExecutor {
  public:
+  /// Validating constructor (the embedded hm::CacheSim re-checks `cfg`);
+  /// throws obliv::Error on a malformed machine.  Prefer make() on
+  /// untrusted input.
   explicit SimExecutor(hm::MachineConfig cfg, SimPolicy policy = {});
+
+  /// Non-throwing companion: kInvalidConfig/kUnsupported for bad machines,
+  /// kResourceExhausted when simulator tables cannot be allocated
+  /// (including injected fault::InjectSite::kAllocSim failures).
+  static Result<SimExecutor> make(hm::MachineConfig cfg,
+                                  SimPolicy policy = {}) noexcept;
 
   const hm::MachineConfig& config() const { return cfg_; }
   hm::CacheSim& cache_sim() { return cache_; }
@@ -143,6 +154,15 @@ class SimExecutor {
   /// the smallest cache level that fits it (or at the memory level), and
   /// returns the metrics of the run.  Resets counters first.
   RunMetrics run(std::uint64_t space_words, const std::function<void()>& body);
+
+  /// Non-throwing counterpart of run(): catches escaping exceptions
+  /// (injected allocation faults, workload errors) and returns them as a
+  /// typed Status -- kResourceExhausted for std::bad_alloc, the carried
+  /// code for obliv::Error, kInternal otherwise.  On error the simulator's
+  /// counters are whatever the partial run left; call run()/try_run()
+  /// again to reset and re-measure.
+  Result<RunMetrics> try_run(std::uint64_t space_words,
+                             const std::function<void()>& body) noexcept;
 
   /// Metrics of the last completed run().
   RunMetrics metrics() const;
@@ -378,6 +398,7 @@ class SimBuf {
 
 template <class T>
 SimBuf<T> SimExecutor::make_buf(std::size_t n) {
+  fault::maybe_fail_alloc(fault::InjectSite::kAllocBuf);
   const std::uint64_t align =
       cfg_.block(cfg_.cache_levels());  // largest block size
   addr_top_ = (addr_top_ + align - 1) / align * align;

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
+
+#include "fault/status.hpp"
 
 namespace obliv::hm {
 namespace {
@@ -92,6 +95,68 @@ TEST(MachineConfig, RejectsMoreThan64Cores) {
         << e.what();
   }
   EXPECT_THROW(MachineConfig("p128", flat(128)), std::invalid_argument);
+}
+
+TEST(MachineConfig, MakeReturnsTypedCodesForDegenerateConfigs) {
+  // make() is the non-throwing companion of the validating constructor: the
+  // same rejections, surfaced as obliv::Status codes instead of exceptions.
+  using obliv::ErrorCode;
+
+  // Empty hierarchy.
+  EXPECT_EQ(MachineConfig::make("empty", {}).status().code(),
+            ErrorCode::kInvalidConfig);
+  // Zero block size.
+  EXPECT_EQ(MachineConfig::make("b0", {LevelSpec{1024, 0, 1}}).status().code(),
+            ErrorCode::kInvalidConfig);
+  // Block larger than its cache.
+  EXPECT_EQ(
+      MachineConfig::make("b>c", {LevelSpec{16, 64, 1}}).status().code(),
+      ErrorCode::kInvalidConfig);
+  // Shrinking blocks: B_2 < B_1.
+  EXPECT_EQ(MachineConfig::make("shrink", {LevelSpec{1024, 16, 1},
+                                           LevelSpec{65536, 8, 2}})
+                .status()
+                .code(),
+            ErrorCode::kInvalidConfig);
+  // Inclusivity / growth: C_2 < p_2 * C_1.
+  EXPECT_EQ(MachineConfig::make("grow", {LevelSpec{1024, 8, 1},
+                                         LevelSpec{2048, 8, 4}})
+                .status()
+                .code(),
+            ErrorCode::kInvalidConfig);
+  // Zero fanin at an inner level.
+  EXPECT_EQ(MachineConfig::make("p0", {LevelSpec{1024, 8, 1},
+                                       LevelSpec{65536, 8, 0}})
+                .status()
+                .code(),
+            ErrorCode::kInvalidConfig);
+  // > 64 cores is a model limit, not a malformed description.
+  EXPECT_EQ(MachineConfig::make("wide", {LevelSpec{2048, 8, 1},
+                                         LevelSpec{1u << 21, 16, 65}})
+                .status()
+                .code(),
+            ErrorCode::kUnsupported);
+  // And a valid machine round-trips with the same shape as the ctor's.
+  auto ok = MachineConfig::make("ok", {LevelSpec{1024, 8, 1},
+                                       LevelSpec{16384, 8, 4}});
+  ASSERT_TRUE(ok.ok()) << ok.status().to_string();
+  EXPECT_EQ(ok.value().cores(), 4u);
+  EXPECT_EQ(ok.value().h(), 3u);
+}
+
+TEST(MachineConfig, FanoutProductCannotWrapPastTheCoreLimit) {
+  // Regression: the core count used to be accumulated in 32 bits, so fanins
+  // {1, 65536, 65536} wrapped the product to 0 and sailed past the 64-core
+  // rejection into sharer-bitmask corruption.  Capacities are chosen to
+  // satisfy every structural rule so the core-count check is what fires.
+  auto r = MachineConfig::make("wrap", {LevelSpec{64, 8, 1},
+                                        LevelSpec{1ull << 22, 8, 65536},
+                                        LevelSpec{1ull << 38, 8, 65536}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), obliv::ErrorCode::kUnsupported);
+  EXPECT_NE(r.status().message().find("64-bit"), std::string::npos)
+      << "rejection should name the sharer-bitmask limit, got: "
+      << r.status().message();
 }
 
 TEST(MachineConfig, CoreBoundFromCacheGrowth) {

@@ -8,17 +8,26 @@
 //
 // The scenarios mirror test_native_executor.cpp / test_sched_stress.cpp:
 // deque-level churn, deep nested sb_parallel with concurrent cgc_pfor from
-// sibling tasks, and repeated root entries against sleeping workers.
+// sibling tasks, repeated root entries against sleeping workers, teardown
+// under error (spawn failures injected mid-construction; destruction with
+// workers asleep), and the chaos scheduler racing a live fault plan.
 //
-// A full TSan build of the whole suite is available via
-//   cmake -B build-tsan -S . -DOBLIV_SANITIZE=thread
+// The same file also builds as `obliv_sched_asan` (-fsanitize=address with
+// leak detection: the teardown scenarios' "no thread / worker-state leak"
+// half) and `obliv_sched_ubsan` (-fsanitize=undefined: UB sweep of the
+// deque index arithmetic and the fault-plan PRNG).
+//
+// A full sanitizer build of the whole suite is available via
+//   cmake -B build-tsan -S . -DOBLIV_SANITIZE=thread   (or address|undefined)
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <new>
 #include <thread>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "sched/native_executor.hpp"
 #include "sched/ws_deque.hpp"
 
@@ -116,12 +125,84 @@ void repeated_roots() {
   check(total == 200ull * 256, "repeated_roots: no lost iterations");
 }
 
+// Teardown with workers still asleep: construct, (sometimes) run one tiny
+// root, destroy immediately.  The destructor must wake every parked worker
+// exactly once and join it -- a lost wake-up deadlocks here, a dropped join
+// leaks the thread (caught by the ASan build of this binary).
+void destroy_while_sleeping() {
+  for (int round = 0; round < 50; ++round) {
+    obliv::sched::NativeExecutor ex(8, /*grain=*/4,
+                                    obliv::sched::SchedMode::kWorkSteal);
+    if (round % 2 == 0) {
+      std::atomic<int> cnt{0};
+      ex.cgc_pfor_each(0, 16, 1, [&](std::uint64_t) {
+        cnt.fetch_add(1, std::memory_order_relaxed);
+      });
+      check(cnt.load() == 16, "destroy_while_sleeping: root completed");
+    }
+    // ~NativeExecutor runs here with all workers parked in the idle wait.
+  }
+}
+
+// Construction failure mid-spawn: an injected allocation storm makes the
+// pool constructor throw after some worker threads are already running.
+// The ctor's unwind path must stop and join them -- under TSan a missed
+// join races the Worker state teardown, under ASan it leaks the thread and
+// its deque, and a lost wake-up hangs this loop.
+void failed_setup_teardown() {
+  if (!obliv::fault::kFaultsCompiledIn) return;
+  int failed = 0, built = 0;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    obliv::fault::FaultPlan plan(
+        seed, obliv::fault::FaultOptions::alloc_storm(20000));
+    obliv::fault::ScopedFaultPlan scope(&plan);
+    try {
+      obliv::sched::NativeExecutor ex(4, /*grain=*/4,
+                                      obliv::sched::SchedMode::kWorkSteal);
+      ++built;
+      obliv::fault::ScopedFaultPlan detach(nullptr);
+      std::atomic<int> cnt{0};
+      ex.cgc_pfor_each(0, 32, 1, [&](std::uint64_t) {
+        cnt.fetch_add(1, std::memory_order_relaxed);
+      });
+      check(cnt.load() == 32, "failed_setup_teardown: surviving pool works");
+    } catch (const std::bad_alloc&) {
+      ++failed;
+    }
+  }
+  check(failed > 0, "failed_setup_teardown: storm produced failures");
+  (void)built;  // either outcome is legal per seed; both paths must be clean
+}
+
+// The chaos scheduler itself under the race detector: victim perturbation,
+// pop-order inversion, stalls, and dropped wake-ups all execute on hot
+// scheduler paths concurrently with real stealing.
+void chaos_storm() {
+  if (!obliv::fault::kFaultsCompiledIn) return;
+  obliv::sched::NativeExecutor ex(4, /*grain=*/1,
+                                  obliv::sched::SchedMode::kWorkSteal);
+  obliv::fault::FaultPlan plan(99, obliv::fault::FaultOptions::chaos());
+  ex.set_fault_plan(&plan);
+  const std::uint64_t n = 1 << 10;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  nested_storm(ex, 0, n, hits);
+  ex.set_fault_plan(nullptr);
+  bool once = true;
+  for (auto& h : hits) once = once && h.load() == 1;
+  check(once, "chaos_storm: every index hit exactly once under chaos");
+  check(plan.decisions() > 0, "chaos_storm: plan was consulted");
+}
+
 }  // namespace
 
 int main() {
   deque_churn();
   executor_storm();
   repeated_roots();
+  destroy_while_sleeping();
+  failed_setup_teardown();
+  chaos_storm();
   if (failures == 0) std::printf("obliv_sched_tsan: all scenarios passed\n");
   return failures == 0 ? 0 : 1;
 }
