@@ -15,6 +15,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "hm/config.hpp"
@@ -104,6 +105,20 @@ inline const char* git_rev() {
 #endif
 }
 
+/// Host hardware concurrency as seen by the process (0 is normalized to 1,
+/// matching how the sharded replay engine treats an unknown core count).
+/// Recorded in every BENCH_*.json so parallel-replay numbers from hosts
+/// with different core counts are never compared as like-for-like.
+inline unsigned host_concurrency() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+/// The bench binaries do not pin worker threads to cores (no affinity
+/// calls anywhere in the tree); recorded alongside hardware_concurrency so
+/// a future pinned configuration is distinguishable in the JSON history.
+inline constexpr bool kThreadsPinned = false;
+
 /// One timed execution of `fn`, in nanoseconds.
 inline double time_once_ns(const std::function<void()>& fn) {
   const auto t0 = std::chrono::steady_clock::now();
@@ -160,6 +175,8 @@ class JsonRecorder {
       return false;
     }
     out << "{\n  \"git_rev\": \"" << git_rev() << "\",\n";
+    out << "  \"hardware_concurrency\": " << host_concurrency() << ",\n";
+    out << "  \"pinned\": " << (kThreadsPinned ? "true" : "false") << ",\n";
     out << "  \"records\": [\n";
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
@@ -197,15 +214,17 @@ class SimRateRecorder {
     double base_acc_per_sec = 0;   ///< best-of-K, baseline (0 = no baseline)
     double speedup = 0;            ///< acc_per_sec / base_acc_per_sec
     int reps = 0;
+    unsigned threads = 1;          ///< replay engine workers (1 = serial)
   };
 
   explicit SimRateRecorder(std::string path) : path_(std::move(path)) {}
 
   void add(const std::string& bench_name, const std::string& config,
            std::uint64_t n, std::uint64_t accesses, double acc_per_sec,
-           double base_acc_per_sec, double speedup, int reps) {
+           double base_acc_per_sec, double speedup, int reps,
+           unsigned threads = 1) {
     records_.push_back(Record{bench_name, config, n, accesses, acc_per_sec,
-                              base_acc_per_sec, speedup, reps});
+                              base_acc_per_sec, speedup, reps, threads});
   }
 
   bool write() const {
@@ -215,6 +234,8 @@ class SimRateRecorder {
       return false;
     }
     out << "{\n  \"git_rev\": \"" << git_rev() << "\",\n";
+    out << "  \"hardware_concurrency\": " << host_concurrency() << ",\n";
+    out << "  \"pinned\": " << (kThreadsPinned ? "true" : "false") << ",\n";
     out << "  \"records\": [\n";
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
@@ -225,8 +246,8 @@ class SimRateRecorder {
           << ", \"base_acc_per_sec\": "
           << util::Table::fmt(r.base_acc_per_sec, "%.4g")
           << ", \"speedup\": " << util::Table::fmt(r.speedup, "%.3f")
-          << ", \"reps\": " << r.reps << "}"
-          << (i + 1 < records_.size() ? "," : "") << "\n";
+          << ", \"reps\": " << r.reps << ", \"threads\": " << r.threads
+          << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     std::cout << "wrote " << path_ << " (" << records_.size()

@@ -21,6 +21,7 @@ std::string_view event_name(EventKind kind) {
     case EventKind::kMiss: return "miss";
     case EventKind::kPingPong: return "pingpong";
     case EventKind::kSuperstep: return "superstep";
+    case EventKind::kEpoch: return "psim.epoch";
   }
   return "unknown";
 }

@@ -63,6 +63,10 @@ enum class EventKind : std::uint8_t {
                     ///< (~0 = none), c=anchored task id
   kPingPong,        ///< coherence invalidation: a=block, c=anchored task id
   kSuperstep,       ///< NO superstep close: a=index, b=words, c=fold-0 h
+  kEpoch,           ///< psim epoch close (opt-in via OBLIV_PSIM_TRACE=1):
+                    ///< a=epoch index, b=buffered accesses, c=1 if the
+                    ///< epoch fell back to serial replay; detail=cores
+                    ///< active in the epoch
 };
 
 /// Why an anchoring decision picked its cache (detail byte of kAnchor).
@@ -232,6 +236,14 @@ class Tracer {
     emit(0, kind, detail, tid, a, b, task_id_);
   }
 
+  /// Deferred-emission entry point (hm/psim.hpp): appends a fully-formed
+  /// event -- timestamp and attribution already stamped at capture time --
+  /// so replay that happens after the fact can reproduce the exact stream
+  /// a live emitter would have produced.
+  void emit_prestamped(std::uint32_t ring, const Event& e) {
+    rings_[ring].push(e);
+  }
+
   // ---- Export lanes -------------------------------------------------------
 
   /// Registers a human-readable name for an export lane (Chrome tid); the
@@ -300,6 +312,7 @@ inline constexpr std::uint32_t cache_lane(std::uint32_t level,
   return 100 * level + idx;
 }
 inline constexpr std::uint32_t kSuperstepLane = 90;
+inline constexpr std::uint32_t kPsimEpochLane = 91;
 
 /// Serializes the tracer's events as Chrome trace_event JSON (the "JSON
 /// array format" chrome://tracing and Perfetto load).  Deterministic: ring

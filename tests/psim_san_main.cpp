@@ -1,0 +1,187 @@
+// Standalone sanitizer harness for the sharded parallel cache-simulation
+// engine (hm/psim.hpp).
+//
+// Built twice by the tier-1 ctest flow: as `obliv_psim_tsan`
+// (-fsanitize=thread) and `obliv_psim_asan` (-fsanitize=address), each
+// instrumenting exactly this translation unit plus the engine's
+// dependency closure (psim.cpp, cache_sim.cpp, trace.cpp, config.cpp,
+// sim_executor.cpp, native_executor.cpp) -- mirroring the
+// obliv_sched_tsan / obliv_sim_asan pattern of sweeping the hot
+// manually-managed paths under sanitizers on every run without
+// instrumenting the whole build.
+//
+// The scenarios force the engine onto a 4-worker pool regardless of host
+// core count (OBLIV_PSIM_THREADS=4, set before any engine is built) and
+// target the paths where a data race or lifetime bug would hide:
+// concurrent shard replay over the disjoint per-core L0/L1 arrays,
+// hand-off of shard event queues into the serial merge, the epoch
+// analysis's flat-table reuse across epochs, and the fallback path's
+// tracer clock save/restore.  Every scenario also checks bit-exact
+// counter parity against a serial CacheSim oracle: a sanitizer smoke
+// that silently computed the wrong counters would be worse than none.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "algo/scan.hpp"
+#include "algo/sort.hpp"
+#include "hm/cache_sim.hpp"
+#include "hm/config.hpp"
+#include "hm/psim.hpp"
+#include "hm/trace.hpp"
+#include "sched/sim_executor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+int failures = 0;
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    ++failures;
+  }
+}
+
+void compare(const obliv::hm::MachineConfig& cfg, const obliv::hm::CacheSim& a,
+             const obliv::hm::CacheSim& b, const char* what) {
+  bool same = a.pingpong_events() == b.pingpong_events() &&
+              a.total_accesses() == b.total_accesses();
+  for (std::uint32_t lvl = 1; lvl <= cfg.cache_levels(); ++lvl) {
+    for (std::uint32_t i = 0; i < cfg.caches_at(lvl); ++i) {
+      const obliv::hm::CacheCounters& ca = a.counters(lvl, i);
+      const obliv::hm::CacheCounters& cb = b.counters(lvl, i);
+      same = same && ca.hits == cb.hits && ca.misses == cb.misses &&
+             ca.evictions == cb.evictions &&
+             ca.invalidations == cb.invalidations;
+    }
+  }
+  check(same, what);
+}
+
+/// Replays `trace` through a 4-thread engine at several epoch sizes and
+/// checks parity against a fresh serial oracle each time.
+void replay_vs_oracle(const obliv::hm::MachineConfig& cfg,
+                      const std::vector<obliv::hm::TraceEntry>& trace,
+                      const char* what) {
+  obliv::hm::CacheSim serial(cfg);
+  for (const auto& e : trace) {
+    serial.access(e.core, e.addr, e.words, e.write != 0);
+  }
+  for (const std::size_t epoch : {64ul, 777ul, 100000ul}) {
+    obliv::hm::CacheSim sim(cfg);
+    obliv::hm::ShardedCacheSim engine(sim, /*threads=*/4);
+    check(engine.threads() == 4, "engine spans 4 worker threads");
+    engine.replay(trace.data(), trace.size(), epoch);
+    compare(cfg, serial, sim, what);
+  }
+}
+
+/// Conflict-free storm: each core streams over a private region with mixed
+/// reads/writes and multi-block runs -- every epoch takes the parallel
+/// shard path, so the pool races over the per-core arrays at full tilt.
+void private_storm(const obliv::hm::MachineConfig& cfg) {
+  obliv::util::Xoshiro256 rng(4100);
+  std::vector<obliv::hm::TraceEntry> t;
+  const std::uint32_t p = cfg.cores();
+  for (int op = 0; op < 120000; ++op) {
+    const std::uint32_t core = rng() % p;
+    const std::uint64_t base = 1000000ull * (core + 1);
+    const std::uint32_t words =
+        rng() % 16 == 0 ? 1 + static_cast<std::uint32_t>(rng() % 32) : 1;
+    t.push_back({base + rng() % 8192, words, static_cast<std::uint8_t>(core),
+                 static_cast<std::uint8_t>(rng() % 3 == 0)});
+  }
+  replay_vs_oracle(cfg, t, "private_storm parity");
+}
+
+/// Shared-region storm: cores hammer overlapping blocks, so conflict
+/// analysis flips epochs to the serial fallback (ping-pong and
+/// invalidation paths) interleaved with conflict-free stretches.
+void shared_storm(const obliv::hm::MachineConfig& cfg) {
+  obliv::util::Xoshiro256 rng(4200);
+  std::vector<obliv::hm::TraceEntry> t;
+  const std::uint32_t p = cfg.cores();
+  for (int phase = 0; phase < 64; ++phase) {
+    const bool contended = phase % 2 == 0;
+    for (int op = 0; op < 1500; ++op) {
+      const std::uint32_t core = rng() % p;
+      const std::uint64_t addr = contended
+                                     ? rng() % 512
+                                     : 500000ull * (core + 1) + rng() % 4096;
+      t.push_back({addr, 1, static_cast<std::uint8_t>(core),
+                   static_cast<std::uint8_t>(rng() % 4 == 0)});
+    }
+  }
+  replay_vs_oracle(cfg, t, "shared_storm parity");
+}
+
+/// Read-only sharing: all cores read the same blocks (no writes at all) --
+/// legal to parallelize, and the merge's sharer-mask |= path plus the
+/// sole-owner L0 exclusivity downgrade get concurrent-shard input.
+void read_sharing(const obliv::hm::MachineConfig& cfg) {
+  obliv::util::Xoshiro256 rng(4300);
+  std::vector<obliv::hm::TraceEntry> t;
+  const std::uint32_t p = cfg.cores();
+  for (int op = 0; op < 60000; ++op) {
+    t.push_back({rng() % 4096, 1, static_cast<std::uint8_t>(rng() % p), 0});
+  }
+  replay_vs_oracle(cfg, t, "read_sharing parity");
+}
+
+/// End-to-end through the executor: the OBLIV_PSIM_THREADS=4 override
+/// makes kSharded build a real 4-worker pool even on a 1-core host, so
+/// epoch cuts at construct boundaries, deferred obs-free buffering, and
+/// the engine reset across run() calls all execute under the sanitizer.
+void executor_sharded(const obliv::hm::MachineConfig& cfg) {
+  auto counters = [&](obliv::hm::PsimMode mode) {
+    obliv::sched::SimPolicy pol;
+    pol.psim = mode;
+    pol.psim_epoch_grain = 256;  // many epochs
+    obliv::sched::SimExecutor ex(cfg, pol);
+    auto buf = ex.make_buf<std::uint64_t>(1 << 11);
+    obliv::util::Xoshiro256 rng(99);
+    for (auto& v : buf.raw()) v = rng();
+    ex.run(1 << 13, [&] { obliv::algo::spms_sort(ex, buf.ref()); });
+    auto pf = ex.make_buf<std::int64_t>(1 << 11);
+    for (auto& v : pf.raw()) v = 1;
+    ex.run(1 << 13, [&] { obliv::algo::mo_prefix_sum(ex, pf.ref()); });
+    check(buf.raw()[0] <= buf.raw()[1], "executor_sharded: sorted");
+    std::vector<std::uint64_t> out;
+    for (std::uint32_t lvl = 1; lvl <= cfg.cache_levels(); ++lvl) {
+      for (std::uint32_t i = 0; i < cfg.caches_at(lvl); ++i) {
+        const obliv::hm::CacheCounters& c = ex.cache_sim().counters(lvl, i);
+        out.insert(out.end(),
+                   {c.hits, c.misses, c.evictions, c.invalidations});
+      }
+    }
+    out.push_back(ex.cache_sim().pingpong_events());
+    out.push_back(ex.cache_sim().total_accesses());
+    return out;
+  };
+  check(counters(obliv::hm::PsimMode::kSerial) ==
+            counters(obliv::hm::PsimMode::kSharded),
+        "executor_sharded: policy-level parity");
+}
+
+}  // namespace
+
+int main() {
+  // Before any engine exists: pin the worker count so the scenarios race a
+  // real pool even on single-core CI hosts.
+  setenv("OBLIV_PSIM_THREADS", "4", /*overwrite=*/1);
+  for (const auto& cfg : {obliv::hm::MachineConfig::shared_l2(4),
+                          obliv::hm::MachineConfig::figure1()}) {
+    private_storm(cfg);
+    shared_storm(cfg);
+    read_sharing(cfg);
+    executor_sharded(cfg);
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "%d scenario check(s) failed\n", failures);
+    return 1;
+  }
+  std::puts("psim sanitizer smoke: all scenarios clean");
+  return 0;
+}
