@@ -50,6 +50,7 @@ algo::EdgeList grid_graph(std::uint64_t side) {
 
 int main(int argc, char** argv) {
   const bool smoke = bench::smoke(argc, argv);
+  bench::TraceExport trace_export(argc, argv);
   bench::print_header("Theorem 8: MO connected components");
   const hm::MachineConfig cfg = hm::MachineConfig::shared_l2(4);
   bench::print_machine(cfg);
@@ -60,6 +61,7 @@ int main(int argc, char** argv) {
        bench::sweep(smoke, {1u << 10, 1u << 11, 1u << 12, 1u << 13})) {
     const algo::EdgeList g = random_graph(n, 2 * n, n);
     sched::SimExecutor ex(cfg);
+    bench::trace_attach(ex);
     std::vector<std::uint64_t> comp;
     const auto m = ex.run(16 * n, [&] {
       comp = algo::mo_connected_components(ex, g);
@@ -83,6 +85,7 @@ int main(int argc, char** argv) {
     util::Table t({"graph family", "n", "edges", "work", "L1 misses"});
     auto row = [&](const std::string& name, const algo::EdgeList& g) {
       sched::SimExecutor ex(cfg);
+      bench::trace_attach(ex);
       std::vector<std::uint64_t> comp;
       const auto m = ex.run(16 * (g.n + 1), [&] {
         comp = algo::mo_connected_components(ex, g);

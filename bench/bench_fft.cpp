@@ -34,6 +34,7 @@ void run_on_machine(const hm::MachineConfig& cfg, bool smoke) {
   for (std::uint64_t n :
        bench::sweep(smoke, {1u << 12, 1u << 14, 1u << 16, 1u << 18})) {
     sched::SimExecutor ex(cfg);
+    bench::trace_attach(ex);
     auto buf = ex.make_buf<algo::cplx>(n);
     for (auto& v : buf.raw()) v = algo::cplx(1.0, 0.0);
     const auto m = ex.run(6 * n, [&] { algo::mo_fft(ex, buf.ref()); });
@@ -63,6 +64,7 @@ void run_on_machine(const hm::MachineConfig& cfg, bool smoke) {
 
 int main(int argc, char** argv) {
   const bool smoke = bench::smoke(argc, argv);
+  bench::TraceExport trace_export(argc, argv);
   bench::print_header("Theorem 2 / Figure 3: MO-FFT");
   run_on_machine(hm::MachineConfig::shared_l2(4), smoke);
   run_on_machine(hm::MachineConfig::three_level(4, 4), smoke);

@@ -35,6 +35,7 @@ void sweep_instance(const hm::MachineConfig& cfg, const std::string& name,
   bench::Series steps{name + " parallel steps vs n^3/p"};
   for (std::uint64_t n : bench::sweep(smoke, {32u, 64u, 128u, 256u})) {
     sched::SimExecutor ex(cfg);
+    bench::trace_attach(ex);
     auto buf = ex.make_buf<double>(n * n);
     util::Xoshiro256 rng(n);
     for (std::uint64_t i = 0; i < n * n; ++i) {
@@ -60,6 +61,7 @@ void sweep_instance(const hm::MachineConfig& cfg, const std::string& name,
 
 int main(int argc, char** argv) {
   const bool smoke = bench::smoke(argc, argv);
+  bench::TraceExport trace_export(argc, argv);
   bench::print_header("Theorem 5 / Figure 5: I-GEP under SB");
   // Small caches so the sweep reaches the n^2 >> C_i regime of Theorem 5 at
   // simulable sizes (with desktop-scale caches the whole matrix fits in L2
@@ -77,6 +79,7 @@ int main(int argc, char** argv) {
     bench::Series miss{"matmul (fn D) L1 misses vs n^3/(q_1 B_1 sqrt(C_1))"};
     for (std::uint64_t n : bench::sweep(smoke, {32u, 64u, 128u, 256u})) {
       sched::SimExecutor ex(cfg);
+      bench::trace_attach(ex);
       auto c = ex.make_buf<double>(n * n);
       auto a = ex.make_buf<double>(n * n);
       auto b = ex.make_buf<double>(n * n);
@@ -99,6 +102,7 @@ int main(int argc, char** argv) {
     bench::Series loop{"GEP loop (baseline) L1 misses vs n^3/(q_1 B_1)"};
     for (std::uint64_t n : bench::sweep(smoke, {32u, 64u, 128u, 256u})) {
       sched::SimExecutor ex(cfg);
+      bench::trace_attach(ex);
       auto buf = ex.make_buf<double>(n * n);
       for (auto& v : buf.raw()) v = 1.0;
       const auto m = ex.run(n * n, [&] {

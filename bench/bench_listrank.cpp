@@ -46,6 +46,7 @@ List random_list(std::uint64_t n, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const bool smoke = bench::smoke(argc, argv);
+  bench::TraceExport trace_export(argc, argv);
   bench::print_header("Theorem 7: MO-LR list ranking");
   const hm::MachineConfig cfg = hm::MachineConfig::shared_l2(4);
   bench::print_machine(cfg);
@@ -59,6 +60,7 @@ int main(int argc, char** argv) {
        bench::sweep(smoke, {1u << 11, 1u << 12, 1u << 13, 1u << 14})) {
     const List li = random_list(n, n);
     sched::SimExecutor ex(cfg);
+    bench::trace_attach(ex);
     auto sb = ex.make_buf<std::uint64_t>(n);
     auto pb = ex.make_buf<std::uint64_t>(n);
     auto db = ex.make_buf<std::uint64_t>(n);

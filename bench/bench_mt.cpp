@@ -33,6 +33,7 @@ void run_on_machine(const hm::MachineConfig& cfg, bool smoke) {
 
   for (std::uint64_t n : bench::sweep(smoke, {128u, 256u, 512u, 1024u})) {
     sched::SimExecutor ex(cfg);
+    bench::trace_attach(ex);
     auto a = ex.make_buf<double>(n * n);
     auto out = ex.make_buf<double>(n * n);
     for (auto& v : a.raw()) v = 1.0;
@@ -72,6 +73,7 @@ void run_on_machine(const hm::MachineConfig& cfg, bool smoke) {
 
 int main(int argc, char** argv) {
   const bool smoke = bench::smoke(argc, argv);
+  bench::TraceExport trace_export(argc, argv);
   bench::print_header("Theorem 1 / Figure 2: MO-MT matrix transposition");
   run_on_machine(hm::MachineConfig::shared_l2(4), smoke);
   run_on_machine(hm::MachineConfig::three_level(4, 4), smoke);

@@ -53,6 +53,7 @@ std::string fmt_opt(const std::optional<std::uint64_t>& v) {
 
 int main(int argc, char** argv) {
   const bool smoke = bench::smoke(argc, argv);
+  bench::TraceExport trace_export(argc, argv);
   std::cout << "==== Native hardware-counter comparison ====\n";
   {
     util::PerfCounterGroup probe({util::PerfEvent::kInstructions});
@@ -62,6 +63,8 @@ int main(int argc, char** argv) {
     }
   }
   sched::NativeExecutor ex(1);  // single thread isolates memory behaviour
+  bench::trace_attach(ex);      // one worker, so the default 1-ring export
+                                // stays single-producer
   util::Xoshiro256 rng(1);
 
   util::Table t({"workload", "ms", "LLC misses", "L1D read misses"});

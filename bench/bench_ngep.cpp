@@ -31,6 +31,7 @@ std::vector<double> rand_matrix(std::uint64_t n, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const bool smoke = bench::smoke(argc, argv);
+  bench::TraceExport trace_export(argc, argv);
   bench::print_header("Table I / Theorem 6: N-GEP (D vs D*)");
 
   // (1) D vs D* communication across (p, B) folds, n = 128, N = 256 PEs.
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
     {
       auto x = rand_matrix(n, 1);
       no::NoMachine mach(pes, folds);
+      bench::trace_attach(mach);
       no::n_gep<algo::FloydWarshallInstance>(mach, x, n, false);
       for (std::size_t f = 0; f < folds.size(); ++f) {
         cd[f] = mach.communication(f);
@@ -53,6 +55,7 @@ int main(int argc, char** argv) {
     {
       auto x = rand_matrix(n, 1);
       no::NoMachine mach(pes, folds);
+      bench::trace_attach(mach);
       no::n_gep<algo::FloydWarshallInstance>(mach, x, n, true);
       for (std::size_t f = 0; f < folds.size(); ++f) {
         cs[f] = mach.communication(f);
@@ -75,6 +78,7 @@ int main(int argc, char** argv) {
     for (std::uint64_t n : bench::sweep(smoke, {32u, 64u, 128u, 256u})) {
       auto x = rand_matrix(n, 2);
       no::NoMachine mach(256, {{64, 4}});
+      bench::trace_attach(mach);
       no::n_gep<algo::FloydWarshallInstance>(mach, x, n, true);
       s.add(double(n), double(mach.communication(0)),
             double(n) * n / (std::sqrt(64.0) * 4.0));
@@ -92,6 +96,7 @@ int main(int argc, char** argv) {
     for (std::uint32_t p : bench::sweep(smoke, {4u, 16u, 64u, 256u})) {
       auto x = rand_matrix(n, 3);
       no::NoMachine mach(256, {{p, 4}});
+      bench::trace_attach(mach);
       no::n_gep<algo::FloydWarshallInstance>(mach, x, n, true);
       s.add(double(p), double(mach.communication(0)),
             double(n) * double(n) / (std::sqrt(double(p)) * 4.0));
@@ -107,12 +112,14 @@ int main(int argc, char** argv) {
       {
         auto x = rand_matrix(n, 4);
         no::NoMachine mach(64, {{64, 4}}, no::DbspConfig::mesh_like(64));
+        bench::trace_attach(mach);
         no::n_gep<algo::FloydWarshallInstance>(mach, x, n, false);
         td = mach.dbsp_time();
       }
       {
         auto x = rand_matrix(n, 4);
         no::NoMachine mach(64, {{64, 4}}, no::DbspConfig::mesh_like(64));
+        bench::trace_attach(mach);
         no::n_gep<algo::FloydWarshallInstance>(mach, x, n, true);
         ts = mach.dbsp_time();
       }

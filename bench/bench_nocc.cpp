@@ -32,6 +32,7 @@ algo::EdgeList random_graph(std::uint64_t n, std::uint64_t m,
 
 int main(int argc, char** argv) {
   const bool smoke = bench::smoke(argc, argv);
+  bench::TraceExport trace_export(argc, argv);
   bench::print_header("Theorem 10: NO connected components on M(p, B)");
 
   {
@@ -40,6 +41,7 @@ int main(int argc, char** argv) {
     for (std::uint64_t n : bench::sweep(smoke, {512u, 1024u, 2048u, 4096u})) {
       const algo::EdgeList g = random_graph(n, 2 * n, n);
       no::NoMachine mach(32, {{8, 4}});
+      bench::trace_attach(mach);
       no::no_connected_components(mach, g);
       const double ntil =
           double(n) + double(g.edges.size()) * std::log2(double(n));
@@ -59,6 +61,7 @@ int main(int argc, char** argv) {
     for (std::uint32_t p :
          bench::sweep(smoke, {1u, 2u, 4u, 8u, 16u, 32u}, 3)) {
       no::NoMachine mach(32, {{p, 4}});
+      bench::trace_attach(mach);
       no::no_connected_components(mach, g);
       t.add_row({util::Table::fmt(std::uint64_t(p)),
                  util::Table::fmt(mach.communication(0)),

@@ -40,6 +40,7 @@ void make_list(std::uint64_t n, std::uint64_t seed,
 
 int main(int argc, char** argv) {
   const bool smoke = bench::smoke(argc, argv);
+  bench::TraceExport trace_export(argc, argv);
   bench::print_header("Theorem 9: NO-LR on M(p, B)");
 
   // (1)+(2): n-sweep on fixed folds.
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
       std::vector<std::uint64_t> succ, pred;
       make_list(n, n, succ, pred);
       no::NoMachine mach(32, {{8, 4}});
+      bench::trace_attach(mach);
       no::no_list_rank(mach, succ, pred);
       comm.add(double(n), double(mach.communication(0)),
                double(n) / (8.0 * 4.0) * std::log2(double(n)));
@@ -69,6 +71,7 @@ int main(int argc, char** argv) {
     make_list(n, 5, succ, pred);
     for (std::uint32_t p : {1u, 2u, 4u, 8u, 16u, 32u}) {
       no::NoMachine mach(32, {{p, 4}});
+      bench::trace_attach(mach);
       no::no_list_rank(mach, succ, pred);
       t.add_row({util::Table::fmt(std::uint64_t(p)),
                  util::Table::fmt(mach.communication(0)),
@@ -86,6 +89,7 @@ int main(int argc, char** argv) {
     make_list(n, 6, succ, pred);
     for (std::uint64_t B : {1u, 2u, 4u, 8u, 16u}) {
       no::NoMachine mach(32, {{8, B}});
+      bench::trace_attach(mach);
       no::no_list_rank(mach, succ, pred);
       t.add_row({util::Table::fmt(std::uint64_t(B)),
                  util::Table::fmt(mach.communication(0))});

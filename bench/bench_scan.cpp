@@ -18,6 +18,7 @@ using namespace obliv;
 
 int main(int argc, char** argv) {
   const bool smoke = bench::smoke(argc, argv);
+  bench::TraceExport trace_export(argc, argv);
   bench::print_header("Table II row 1: prefix sums");
   const hm::MachineConfig cfg = hm::MachineConfig::three_level(4, 4);
   bench::print_machine(cfg);
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
   for (std::uint64_t n :
        bench::sweep(smoke, {1u << 14, 1u << 16, 1u << 18, 1u << 20})) {
     sched::SimExecutor ex(cfg);
+    bench::trace_attach(ex);
     auto buf = ex.make_buf<std::int64_t>(n);
     for (auto& v : buf.raw()) v = 1;
     const auto m = ex.run(2 * n, [&] { algo::mo_prefix_sum(ex, buf.ref()); });
@@ -50,6 +52,7 @@ int main(int argc, char** argv) {
     util::Table t({"n", "comm (p=8,B=4)", "supersteps"});
     for (std::uint64_t n : bench::sweep(smoke, {1u << 10, 1u << 12, 1u << 14})) {
       no::NoMachine mach(32, {{8, 4}});
+      bench::trace_attach(mach);
       std::vector<std::uint64_t> xs(n, 1);
       no::no_prefix_sum(mach, xs);
       t.add_row({util::Table::fmt(std::uint64_t(n)),

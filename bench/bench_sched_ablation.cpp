@@ -43,6 +43,7 @@ sched::RunMetrics run_gep(const hm::MachineConfig& cfg, bool slice,
   sched::SimPolicy policy;
   policy.slice_mode = slice;
   sched::SimExecutor ex(cfg, policy);
+  bench::trace_attach(ex);
   auto buf = ex.make_buf<double>(n * n);
   util::Xoshiro256 rng(1);
   for (auto& v : buf.raw()) v = rng.uniform();
@@ -56,6 +57,7 @@ sched::RunMetrics run_sort(const hm::MachineConfig& cfg, bool slice,
   sched::SimPolicy policy;
   policy.slice_mode = slice;
   sched::SimExecutor ex(cfg, policy);
+  bench::trace_attach(ex);
   auto buf = ex.make_buf<std::uint64_t>(n);
   util::Xoshiro256 rng(2);
   for (auto& v : buf.raw()) v = rng();
@@ -66,6 +68,7 @@ sched::RunMetrics run_sort(const hm::MachineConfig& cfg, bool slice,
 
 int main(int argc, char** argv) {
   const bool smoke = bench::smoke(argc, argv);
+  bench::TraceExport trace_export(argc, argv);
   bench::print_header("Scheduler ablations (Section II tension, DESIGN.md)");
   // 16 cores, 4 L2 caches: anchoring has real choices to make.
   const hm::MachineConfig cfg("abl", {hm::LevelSpec{256, 8, 1},
@@ -120,6 +123,7 @@ int main(int argc, char** argv) {
         sched::SimPolicy policy;
         policy.cgcsb_fit_only = (mode == 1);
         sched::SimExecutor ex(hm::MachineConfig::three_level(4, 4), policy);
+        bench::trace_attach(ex);
         span[mode] = ex.run(1ull << 40, [&] {
           ex.cgc_sb_pfor(m, /*space=*/64, [&](std::uint64_t) {
             ex.cgc_pfor(0, inner, 1,
@@ -149,6 +153,7 @@ int main(int argc, char** argv) {
         sched::SimPolicy policy;
         policy.respect_block_boundaries = (mode == 0);
         sched::SimExecutor ex(hm::MachineConfig::shared_l2(6), policy);
+        bench::trace_attach(ex);
         auto buf = ex.make_buf<double>(n);
         for (int rep = 0; rep < 20; ++rep) {
           pp[mode] += ex.run(3 * n, [&] {

@@ -311,6 +311,7 @@ void add_gep(const hm::MachineConfig& cfg, std::uint64_t n) {
 /// measurement on a construct-realistic trace (epoch cuts, run batches).
 Trace capture_scan_trace(const hm::MachineConfig& cfg, std::uint64_t n) {
   sched::SimExecutor ex(cfg);
+  bench::trace_attach(ex);
   auto buf = ex.make_buf<std::int64_t>(n);
   Trace t;
   ex.set_trace(&t);
@@ -426,6 +427,7 @@ int psim_off_check(bool smoke, int reps) {
 
 int main(int argc, char** argv) {
   const bool smoke = bench::smoke(argc, argv);
+  bench::TraceExport trace_export(argc, argv);
   bool psim_check = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);

@@ -33,6 +33,7 @@ void run_on_machine(const hm::MachineConfig& cfg, bool smoke) {
        bench::sweep(smoke, {1u << 13, 1u << 14, 1u << 15, 1u << 16})) {
     util::Xoshiro256 rng(n);
     sched::SimExecutor ex(cfg);
+    bench::trace_attach(ex);
     auto buf = ex.make_buf<std::uint64_t>(n);
     for (auto& v : buf.raw()) v = rng();
     const auto m = ex.run(4 * n, [&] { algo::spms_sort(ex, buf.ref()); });
@@ -63,6 +64,7 @@ void run_on_machine(const hm::MachineConfig& cfg, bool smoke) {
 
 int main(int argc, char** argv) {
   const bool smoke = bench::smoke(argc, argv);
+  bench::TraceExport trace_export(argc, argv);
   bench::print_header("Theorem 3: SPMS sorting");
   run_on_machine(hm::MachineConfig::shared_l2(4), smoke);
   run_on_machine(hm::MachineConfig::three_level(4, 4), smoke);

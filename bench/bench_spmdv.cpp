@@ -26,6 +26,7 @@ std::uint64_t run_case(const hm::MachineConfig& cfg,
                        const algo::SparseMatrix& a, std::uint32_t level,
                        sched::RunMetrics* out_metrics = nullptr) {
   sched::SimExecutor ex(cfg);
+  bench::trace_attach(ex);
   auto av = ex.make_buf<algo::SpmEntry>(a.nnz());
   auto a0 = ex.make_buf<std::uint64_t>(a.n + 1);
   auto xv = ex.make_buf<double>(a.n);
@@ -44,6 +45,7 @@ std::uint64_t run_case(const hm::MachineConfig& cfg,
 
 int main(int argc, char** argv) {
   const bool smoke = bench::smoke(argc, argv);
+  bench::TraceExport trace_export(argc, argv);
   bench::print_header("Theorem 4 / Figure 4: MO-SpM-DV");
   const hm::MachineConfig cfg = hm::MachineConfig::shared_l2(4);
   bench::print_machine(cfg);

@@ -49,6 +49,7 @@ void add(const std::string& name, double tm, double tb, double cm, double cb,
 
 int main(int argc, char** argv) {
   const bool smoke = bench::smoke(argc, argv);
+  bench::TraceExport trace_export(argc, argv);
   bench::print_header("Table II: summary of results (regenerated)");
   const hm::MachineConfig cfg = hm::MachineConfig::shared_l2(4);
   bench::print_machine(cfg);
@@ -64,10 +65,12 @@ int main(int argc, char** argv) {
   {
     const std::uint64_t n = smoke ? 1 << 12 : 1 << 16;
     sched::SimExecutor ex(cfg);
+    bench::trace_attach(ex);
     auto buf = ex.make_buf<std::int64_t>(n);
     for (auto& v : buf.raw()) v = 1;
     const auto m = ex.run(2 * n, [&] { algo::mo_prefix_sum(ex, buf.ref()); });
     no::NoMachine mach(32, {{no_p, no_b}});
+    bench::trace_attach(mach);
     std::vector<std::uint64_t> xs(n, 1);
     no::no_prefix_sum(mach, xs);
     add("Prefix sum", m.parallel_steps(cfg.cores()), double(n) / p,
@@ -80,6 +83,7 @@ int main(int argc, char** argv) {
   {
     const std::uint64_t n = smoke ? 64 : 256;
     sched::SimExecutor ex(cfg);
+    bench::trace_attach(ex);
     auto a = ex.make_buf<double>(n * n);
     auto out = ex.make_buf<double>(n * n);
     for (auto& v : a.raw()) v = 1.0;
@@ -87,6 +91,7 @@ int main(int argc, char** argv) {
       algo::mo_transpose(ex, a.ref(), out.ref(), n);
     });
     no::NoMachine mach(n * n, {{no_p, no_b}});
+    bench::trace_attach(mach);
     std::vector<double> host(n * n, 1.0), host_out;
     no::no_transpose(mach, host, host_out, n);
     add("Matrix transposition", m.parallel_steps(cfg.cores()),
@@ -99,6 +104,7 @@ int main(int argc, char** argv) {
   {
     const std::uint64_t n = smoke ? 32 : 128;
     sched::SimExecutor ex(cfg);
+    bench::trace_attach(ex);
     auto c = ex.make_buf<double>(n * n);
     auto a = ex.make_buf<double>(n * n);
     auto b = ex.make_buf<double>(n * n);
@@ -113,6 +119,7 @@ int main(int argc, char** argv) {
     std::vector<double> x(4 * n * n, 1.0);
     algo::MatMulEmbedInstance::half = n;
     no::NoMachine mach(256, {{no_p, no_b}});
+    bench::trace_attach(mach);
     no::n_gep<algo::MatMulEmbedInstance>(mach, x, 2 * n, true);
     add("Matrix multiplication", m.parallel_steps(cfg.cores()),
         double(n) * n * n / p, double(m.level_max_misses[0]),
@@ -125,6 +132,7 @@ int main(int argc, char** argv) {
   {
     const std::uint64_t n = smoke ? 32 : 128;
     sched::SimExecutor ex(cfg);
+    bench::trace_attach(ex);
     auto buf = ex.make_buf<double>(n * n);
     for (auto& v : buf.raw()) v = rng.uniform();
     using Mat = sched::MatView<sched::SimRef<double>>;
@@ -133,6 +141,7 @@ int main(int argc, char** argv) {
     });
     std::vector<double> x(n * n, 1.0);
     no::NoMachine mach(256, {{no_p, no_b}});
+    bench::trace_attach(mach);
     no::n_gep<algo::FloydWarshallInstance>(mach, x, n, true);
     add("GEP", m.parallel_steps(cfg.cores()), double(n) * n * n / p,
         double(m.level_max_misses[0]),
@@ -145,11 +154,13 @@ int main(int argc, char** argv) {
   {
     const std::uint64_t n = smoke ? 1 << 12 : 1 << 16;
     sched::SimExecutor ex(cfg);
+    bench::trace_attach(ex);
     auto buf = ex.make_buf<algo::cplx>(n);
     for (auto& v : buf.raw()) v = algo::cplx(1.0, 0.0);
     const auto m = ex.run(6 * n, [&] { algo::mo_fft(ex, buf.ref()); });
     const std::uint64_t no_n = smoke ? 1 << 10 : 1 << 12;
     no::NoMachine mach(no_n, {{no_p, no_b}});
+    bench::trace_attach(mach);
     std::vector<algo::cplx> x(no_n, algo::cplx(1.0, 0.0));
     no::no_fft(mach, x);
     const double logc = std::log(double(n)) / std::log(C1);
@@ -166,12 +177,14 @@ int main(int argc, char** argv) {
   {
     const std::uint64_t n = smoke ? 1 << 12 : 1 << 16;
     sched::SimExecutor ex(cfg);
+    bench::trace_attach(ex);
     auto buf = ex.make_buf<std::uint64_t>(n);
     for (auto& v : buf.raw()) v = rng();
     const auto m = ex.run(4 * n, [&] { algo::spms_sort(ex, buf.ref()); });
     const std::uint64_t no_n = smoke ? 1 << 10 : 1 << 14;
     const no::ColsortShape sh = no::colsort_shape(no_n);
     no::NoMachine mach(sh.s + 1, {{no_p, no_b}});
+    bench::trace_attach(mach);
     std::vector<std::int64_t> keys(no_n);
     for (auto& v : keys) v = static_cast<std::int64_t>(rng.below(1u << 30));
     no::no_columnsort(mach, keys, std::numeric_limits<std::int64_t>::min(),
@@ -197,6 +210,7 @@ int main(int argc, char** argv) {
       pred[perm[t + 1]] = perm[t];
     }
     sched::SimExecutor ex(cfg);
+    bench::trace_attach(ex);
     auto sb = ex.make_buf<std::uint64_t>(n);
     auto pb = ex.make_buf<std::uint64_t>(n);
     auto db = ex.make_buf<std::uint64_t>(n);
@@ -206,6 +220,7 @@ int main(int argc, char** argv) {
       algo::mo_list_rank(ex, sb.ref(), pb.ref(), db.ref());
     });
     no::NoMachine mach(32, {{no_p, no_b}});
+    bench::trace_attach(mach);
     no::no_list_rank(mach, succ, pred);
     const double logc = std::log(double(n)) / std::log(C1);
     add("List ranking", m.parallel_steps(cfg.cores()),

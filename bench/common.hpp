@@ -12,6 +12,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "hm/config.hpp"
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -53,6 +55,61 @@ std::vector<T> sweep(bool smoke_mode, std::initializer_list<T> full,
 
 inline void print_machine(const hm::MachineConfig& cfg) {
   std::cout << "machine: " << cfg.describe() << "\n";
+}
+
+// ---------------------------------------------------------------------------
+// Unified trace export: every bench honors `--trace-out=<path>` (or the
+// OBLIV_TRACE_OUT environment variable) with one spelling.  Construct one
+// TraceExport at the top of main(); executor/machine construction sites
+// then call bench::trace_attach(obj).  When tracing was not requested the
+// tracer is null and trace_attach degrades to set_tracer(nullptr).  The
+// Chrome trace is written when the TraceExport leaves scope; rings that
+// overwrote events are surfaced by the exporter's stderr drop warning and
+// recorded in the trace's otherData (obliv-trace refuses such a trace for
+// span analysis but chrome://tracing renders it fine).
+// ---------------------------------------------------------------------------
+class TraceExport {
+ public:
+  /// `rings` must be >= the worker count of any native pool the trace is
+  /// attached to (rings are single-producer); sim/NO benches use 1.
+  TraceExport(int argc, char** argv, std::uint32_t rings = 1,
+              std::size_t capacity = obs::TraceRing::kDefaultCapacity)
+      : path_(obs::resolve_trace_out(argc, argv)) {
+    if (!path_.empty()) {
+      tracer_ = std::make_unique<obs::Tracer>(rings, capacity);
+    }
+    active_ = this;
+  }
+  ~TraceExport() {
+    if (tracer_ != nullptr && obs::write_chrome_trace(path_, *tracer_)) {
+      std::cout << "trace: wrote " << path_ << " ("
+                << tracer_->events_pushed() << " events, "
+                << tracer_->events_dropped() << " dropped)\n";
+    }
+    if (active_ == this) active_ = nullptr;
+  }
+  TraceExport(const TraceExport&) = delete;
+  TraceExport& operator=(const TraceExport&) = delete;
+
+  obs::Tracer* tracer() const { return tracer_.get(); }
+
+  /// The innermost live TraceExport, for helpers that do not see argv.
+  static obs::Tracer* active_tracer() {
+    return active_ != nullptr ? active_->tracer() : nullptr;
+  }
+
+ private:
+  static inline TraceExport* active_ = nullptr;
+  std::string path_;
+  std::unique_ptr<obs::Tracer> tracer_;
+};
+
+/// Attaches the active trace export (if any) to a freshly constructed
+/// executor / machine; returns it for chaining.
+template <class T>
+T& trace_attach(T& target) {
+  target.set_tracer(TraceExport::active_tracer());
+  return target;
 }
 
 /// One sweep series: x (problem size), measured, and the model prediction.

@@ -7,11 +7,14 @@
 //   4. Re-run with the obs tracer attached and export a Chrome trace
 //      (open quickstart_trace.json in chrome://tracing or
 //      https://ui.perfetto.dev to see every anchoring decision and miss).
+//      `--trace-out=<path>` or OBLIV_TRACE_OUT overrides the path -- the
+//      same contract every bench binary honors.
 //
 // Build & run:  ./build/examples/example_quickstart
 #include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <string>
 
 #include "algo/sort.hpp"
 #include "algo/transpose.hpp"
@@ -21,7 +24,7 @@
 #include "sched/sim_executor.hpp"
 #include "util/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace obliv;
 
   // --- 1. An HM machine: 8 cores, private L1s, one shared L2. ---
@@ -88,8 +91,10 @@ int main() {
     algo::recursive_transpose(sim, ta.ref(), tout.ref(), side);
   });
   sim.set_tracer(nullptr);
-  if (obs::write_chrome_trace("quickstart_trace.json", tracer)) {
-    std::cout << "Trace: wrote quickstart_trace.json ("
+  const std::string trace_path =
+      obs::resolve_trace_out(argc, argv, "quickstart_trace.json");
+  if (obs::write_chrome_trace(trace_path, tracer)) {
+    std::cout << "Trace: wrote " << trace_path << " ("
               << tracer.events_pushed() << " events, "
               << tracer.events_dropped()
               << " dropped).  Open it in chrome://tracing or "

@@ -93,6 +93,15 @@ struct MatMulEmbedInstance {
   }
 };
 
+/// Table-I recursive call orders for function D.  Schedule D issues the
+/// eight subcalls as two k-major rounds of four; schedule D* permutes the
+/// calls *within* each round (each X quadrant still updated exactly once
+/// per round, each (quadrant, k) pair exactly once overall) so that
+/// consecutive subtasks assigned to the same cache share operand quadrants.
+/// Work and depth are identical -- exactly the property the trace analyzer
+/// verifies (equal work, equal span) -- only the miss profile differs.
+enum class GepSchedule : std::uint8_t { kD, kDstar };
+
 namespace detail {
 
 enum class GepFn : std::uint8_t { kA, kB, kC, kD };
@@ -144,7 +153,8 @@ struct Child {
 
 template <class Inst, class Exec, class Ref>
 void gep_rec(Exec& ex, sched::MatView<Ref> x, Interval I, Interval J,
-             Interval K, std::uint64_t base_cutoff) {
+             Interval K, std::uint64_t base_cutoff,
+             GepSchedule sched = GepSchedule::kD) {
   if (!Inst::intersects(I, J, K)) return;
   const std::uint64_t m = I.len();
   assert(J.len() == m && K.len() == m);
@@ -157,7 +167,7 @@ void gep_rec(Exec& ex, sched::MatView<Ref> x, Interval I, Interval J,
   const Interval Kh[2] = {K.low_half(), K.high_half()};
 
   auto recurse = [&](Child ch) {
-    gep_rec<Inst>(ex, x, Ih[ch.a], Jh[ch.b], Kh[ch.c], base_cutoff);
+    gep_rec<Inst>(ex, x, Ih[ch.a], Jh[ch.b], Kh[ch.c], base_cutoff, sched);
   };
   auto seq = [&](Child ch) {
     const GepFn fn = classify(Ih[ch.a], Jh[ch.b], Kh[ch.c]);
@@ -198,9 +208,16 @@ void gep_rec(Exec& ex, sched::MatView<Ref> x, Interval I, Interval J,
       par({{0, 0, 1}, {1, 0, 1}});
       break;
     case GepFn::kD:
-      // Appendix, function D: two rounds of four parallel calls.
-      par({{0, 0, 0}, {0, 1, 0}, {1, 0, 0}, {1, 1, 0}});
-      par({{0, 0, 1}, {0, 1, 1}, {1, 0, 1}, {1, 1, 1}});
+      // Appendix, function D: two rounds of four parallel calls, in the
+      // Table-I order selected by `sched` (D = k-major; D* = the
+      // within-round permutation).
+      if (sched == GepSchedule::kDstar) {
+        par({{0, 0, 0}, {0, 1, 1}, {1, 0, 1}, {1, 1, 0}});
+        par({{0, 0, 1}, {0, 1, 0}, {1, 0, 0}, {1, 1, 1}});
+      } else {
+        par({{0, 0, 0}, {0, 1, 0}, {1, 0, 0}, {1, 1, 0}});
+        par({{0, 0, 1}, {0, 1, 1}, {1, 0, 1}, {1, 1, 1}});
+      }
       break;
   }
 }
@@ -216,12 +233,13 @@ using detail::GepFn;
 /// `base_cutoff` is the constant tile side at which recursion bottoms out
 /// (any constant preserves obliviousness and the asymptotic bounds).
 template <class Inst, class Exec, class Ref>
-void igep(Exec& ex, sched::MatView<Ref> x, std::uint64_t base_cutoff = 8) {
+void igep(Exec& ex, sched::MatView<Ref> x, std::uint64_t base_cutoff = 8,
+          GepSchedule sched = GepSchedule::kD) {
   const std::uint64_t n = x.rows();
   assert(x.cols() == n);
   const Interval all{0, n};
   ex.sb_seq(n * n, [&] {
-    detail::gep_rec<Inst>(ex, x, all, all, all, base_cutoff);
+    detail::gep_rec<Inst>(ex, x, all, all, all, base_cutoff, sched);
   });
 }
 

@@ -213,7 +213,7 @@ void CacheSim::touch_block(std::uint32_t core, std::uint64_t blk1, bool write,
                                l1.last_evicted());
     }
   }
-  if (l1.last_evicted() != ~0ull) {
+  if (l1.last_evicted() != obs::kNoEviction) {
     ++c1.evictions;
     l0_drop(core, l1.last_evicted());
     if (multicore_) {
@@ -269,7 +269,7 @@ void CacheSim::touch_block(std::uint32_t core, std::uint64_t blk1, bool write,
                                  cache.last_evicted());
       }
     }
-    if (cache.last_evicted() != ~0ull) ++ctr.evictions;
+    if (cache.last_evicted() != obs::kNoEviction) ++ctr.evictions;
   }
 }
 

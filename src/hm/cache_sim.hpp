@@ -76,7 +76,9 @@ class LruCache {
     return map_.find(block) != nullptr;
   }
 
-  /// Block id evicted by the most recent touch(), or UINT64_MAX if none.
+  /// Block id evicted by the most recent touch(), or obs::kNoEviction if
+  /// none (the same sentinel flows into kMiss.b unchanged, which is what
+  /// lets the trace analyzer count evictions without a private protocol).
   std::uint64_t last_evicted() const { return last_evicted_; }
 
   void clear();

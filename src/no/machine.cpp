@@ -144,10 +144,13 @@ void NoMachine::compute(std::uint64_t pe, std::uint64_t ops) {
 
 void NoMachine::set_tracer(obs::Tracer* tracer) {
   tracer_ = tracer;
+  hist_superstep_words_ = nullptr;
   if constexpr (obs::kTracingCompiledIn) {
     if (tracer != nullptr) {
       tracer->set_logical_clock(&total_words_);
       tracer->name_lane(obs::kSuperstepLane, "supersteps");
+      hist_superstep_words_ =
+          &tracer->counters().histogram("no.superstep.words");
     }
   }
 }
@@ -200,6 +203,7 @@ void NoMachine::end_superstep() {
       dbsp_.g.empty() ? 0 : static_cast<std::uint32_t>(dbsp_.g.size()) - 1;
   if constexpr (obs::kTracingCompiledIn) {
     if (tracer_ != nullptr) {
+      hist_superstep_words_->record(step_words_);
       tracer_->emit(0, obs::EventKind::kSuperstep, 0, obs::kSuperstepLane,
                     supersteps_ - 1, step_words_, fold0_h);
     }

@@ -158,6 +158,9 @@ class NoMachine {
   std::uint64_t step_words_ = 0;  // words declared in the open superstep
   bool superstep_dirty_ = false;
   obs::Tracer* tracer_ = nullptr;
+  // Per-superstep message-volume distribution, registered by set_tracer()
+  // (null iff tracer_ is).
+  obs::Histogram* hist_superstep_words_ = nullptr;
 };
 
 }  // namespace obliv::no

@@ -1,0 +1,187 @@
+// Trace analytics: work/span profiling over the recorded task DAG.
+//
+// PR 4's tracer records every scheduling decision the SimExecutor makes --
+// task begin/end with parent ids, hint dispatches, anchoring decisions, and
+// per-level misses attributed to the task that caused them.  This module
+// consumes that stream and turns it into decision-grade numbers:
+//
+//   * per-task and total **work** (inclusive/exclusive, from the logical
+//     work-clock timestamps; DFS nesting is exact because the simulating
+//     executor is single-threaded),
+//   * **span** (critical path) recomputed bottom-up from the DAG by
+//     replaying the executor's composition rules per scheduling construct
+//     (CGC: children start together, group span = max; SB and CGC=>SB:
+//     tasks mapped to the same anchor cache queue behind each other, so
+//     span sums per anchor and maxes across anchors; sb_seq chains), which
+//     is cross-checked against the span the executor recorded,
+//   * a second, **miss-weighted span**: each task's exclusive cost is
+//     work + sum_l weight_l * misses_l(task), making the critical path
+//     sensitive to where in the hierarchy each phase's misses land,
+//   * **parallelism = work / span** and Brent-bound predicted speedups
+//     T_p = W/p + S for p in {1, 2, 4, ..., 64} -- the 1-core container's
+//     substitute for measured scaling curves (ROADMAP caveat), and
+//   * per-recursion-depth and per-anchor-reason (algorithm phase) rollups
+//     of the miss/eviction attribution, one table per cache level.
+//
+// Input is either a live Tracer or a trace exported by chrome_trace_json()
+// (the CLI ingests the latter).  A trace whose flight-recorder rings
+// overwrote events is *refused*: a truncated stream breaks the begin/end
+// nesting and would silently produce a wrong span.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/status.hpp"
+#include "obs/trace.hpp"
+
+namespace obliv::obs {
+
+// ---------------------------------------------------------------------------
+// Parsed trace container
+// ---------------------------------------------------------------------------
+
+/// Per-ring flight-recorder stats carried in the trace's otherData.
+struct RingStat {
+  std::uint64_t pushed = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// A trace re-materialized from its Chrome JSON export (or captured live):
+/// typed events in stream order plus the drop accounting the analyzer
+/// gates on.
+struct TraceData {
+  std::vector<Event> events;
+  std::vector<RingStat> rings;
+  std::uint64_t dropped_events = 0;
+};
+
+/// Parses the Chrome trace_event JSON produced by chrome_trace_json().
+/// Only instant events ("ph":"i") become Events; metadata and counter
+/// samples are skipped.  kInvalidArgument on malformed input.
+Result<TraceData> parse_chrome_trace(std::string_view json);
+
+/// Snapshot of a live tracer in the same container (ring-major order,
+/// matching the exporter).
+TraceData capture_trace(const Tracer& tracer);
+
+// ---------------------------------------------------------------------------
+// Analysis results
+// ---------------------------------------------------------------------------
+
+struct AnalysisOptions {
+  /// Per-level miss weight for the memory-weighted span; index level-1.
+  /// Empty selects the default synthetic cost model weight_l = 4^l (each
+  /// level is 4x as far as the previous one), sized to the deepest level
+  /// observed in the trace.
+  std::vector<std::uint64_t> miss_weights;
+  /// Processor counts for the Brent-bound speedup table.
+  std::vector<std::uint32_t> speedup_p = {1, 2, 4, 8, 16, 32, 64};
+};
+
+/// One reconstructed task (node of the DAG).  Ids are dense: the root of a
+/// run is 0 and children number upward in creation order.
+struct TaskStats {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::uint32_t level = 0;        ///< anchor level (kTaskBegin.b)
+  std::uint32_t depth = 0;        ///< root = 0
+  std::uint64_t begin_ts = 0, end_ts = 0;
+  std::uint64_t work_incl = 0;    ///< end_ts - begin_ts
+  std::uint64_t work_excl = 0;    ///< work_incl minus children's inclusive
+  std::uint64_t recorded_span = 0;  ///< executor's kTaskEnd.b
+  std::uint64_t span = 0;           ///< recomputed (work-clock weights)
+  std::uint64_t span_mem = 0;       ///< recomputed, miss-weighted
+  /// Anchor decision that created this task (root: has_anchor = false).
+  bool has_anchor = false;
+  std::uint8_t anchor_reason = 0;   ///< AnchorReason
+  std::uint32_t anchor_level = 0;
+  std::uint32_t anchor_idx = 0;
+  std::uint64_t space_words = 0;
+  std::uint64_t pingpongs = 0;
+  std::vector<std::uint64_t> misses;     ///< per level, exclusive
+  std::vector<std::uint64_t> evictions;  ///< per level, exclusive
+  std::vector<std::uint64_t> children;   ///< ids, creation order
+  /// Scheduling constructs this task dispatched, in order: children with
+  /// id in [first_child, next construct's first_child) belong to it.
+  struct Construct {
+    std::uint8_t hint = 0;          ///< sched::Hint as raw byte
+    std::uint64_t arg = 0;          ///< range length / task count
+    std::uint64_t first_child = 0;  ///< id of the construct's first task
+  };
+  std::vector<Construct> constructs;
+};
+
+/// Rollup row: miss/eviction totals for one (cache level, key) cell.
+struct AttributionCell {
+  std::uint64_t tasks = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// One Brent-bound prediction row.
+struct SpeedupRow {
+  std::uint32_t p = 0;
+  double predicted_speedup = 0;      ///< W / (W/p + S), work-clock span
+  double predicted_speedup_mem = 0;  ///< same with miss-weighted W and S
+};
+
+/// Full analysis of one executor run (one root task).
+struct RunAnalysis {
+  std::uint64_t work = 0;          ///< total work (root inclusive)
+  std::uint64_t span = 0;          ///< recomputed critical path
+  std::uint64_t recorded_span = 0; ///< executor's own span (root kTaskEnd.b)
+  std::uint64_t mem_work = 0;      ///< work + sum_l w_l * total misses_l
+  std::uint64_t mem_span = 0;      ///< miss-weighted critical path
+  double parallelism = 0;          ///< work / span
+  double mem_parallelism = 0;      ///< mem_work / mem_span
+  /// Recomputed per-task spans equal to the executor's recorded spans for
+  /// every task (the analyzer's composition rules reproduce the scheduler
+  /// exactly).  A false here is a bug in one of the two.
+  bool span_matches_recorded = false;
+  std::uint64_t span_mismatches = 0;
+  std::uint32_t levels = 0;        ///< deepest cache level seen in misses
+  std::uint32_t max_depth = 0;
+  std::vector<std::uint64_t> miss_weights;        ///< weights used, per level
+  std::vector<std::uint64_t> total_misses;        ///< per level
+  std::vector<std::uint64_t> total_evictions;     ///< per level
+  std::vector<TaskStats> tasks;                   ///< indexed by id
+  std::vector<SpeedupRow> speedups;
+  /// rollup_depth[d][l-1]: attribution for tasks at recursion depth d.
+  std::vector<std::vector<AttributionCell>> rollup_depth;
+  /// rollup_reason[r][l-1]: attribution keyed by AnchorReason r (the
+  /// algorithm phase that anchored the task); index kReasonRoot = root.
+  static constexpr std::uint32_t kReasonRoot = 5;
+  static constexpr std::uint32_t kReasonCount = 6;
+  std::vector<std::vector<AttributionCell>> rollup_reason;
+};
+
+/// Reconstructs the task DAG and computes every RunAnalysis in the trace
+/// (one per root task; benches often run several workloads through one
+/// tracer).  Refuses with kInvalidArgument if the trace dropped events or
+/// if begin/end nesting is broken.
+Result<std::vector<RunAnalysis>> analyze(const TraceData& trace,
+                                         const AnalysisOptions& opts = {});
+
+/// Convenience: capture + analyze a live tracer.
+Result<std::vector<RunAnalysis>> analyze_tracer(const Tracer& tracer,
+                                                const AnalysisOptions& opts =
+                                                    {});
+
+// ---------------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------------
+
+/// Renders one run's report as deterministic plain text: totals,
+/// parallelism, the Brent speedup table, and the per-depth /
+/// per-anchor-reason miss attribution tables.  `title` heads the report.
+std::string render_report(const RunAnalysis& run, std::string_view title);
+
+/// Renders the registry's histograms (count/sum/mean/min/max/p50/p90/p99),
+/// one line per histogram, in registration order.  Empty string when the
+/// registry has none.
+std::string render_histograms(const CounterRegistry& counters);
+
+}  // namespace obliv::obs

@@ -1,0 +1,130 @@
+// Fixed-bucket log-scale histogram counters (obs subsystem).
+//
+// The registry's plain counters answer "how many / how much total"; the
+// serving-layer questions ("what does a p99 steal look like?  how skewed
+// are task grains?") need distributions.  Histogram is built for the same
+// constraints as the rest of obs:
+//
+//   * Deterministic on the simulated layers: buckets are fixed powers of
+//     two, recording and quantile extraction are integer-only, so two runs
+//     of the same workload produce byte-identical exports.
+//   * Cheap and thread-safe on the native layer: record() is a relaxed
+//     atomic increment per field (no locks, no allocation), so per-worker
+//     emission sites (steal latencies, forked loop grains) can share one
+//     histogram without synchronizing.  Relaxed ordering is enough because
+//     readers (the exporter, the report) run after the workload quiesced.
+//
+// Bucket b holds values v with std::bit_width(v) == b, i.e. bucket 0 is
+// exactly {0} and bucket b >= 1 covers [2^(b-1), 2^b - 1].  Quantiles are
+// *upper bounds*: percentile(p) returns the smallest bucket upper edge at
+// or below which at least ceil(p% * count) recorded values fall, clamped
+// to the exact observed min/max.  That makes p50/p90/p99 conservative
+// (never under-reported) and, being pure integer arithmetic, goldenable.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace obliv::obs {
+
+class Histogram {
+ public:
+  /// 65 buckets: bit_width of a uint64_t is 0..64.
+  static constexpr std::uint32_t kBuckets = 65;
+
+  Histogram() = default;
+
+  // Relaxed-atomic fields are not copyable; the registry stores histograms
+  // in a deque and hands out stable references instead.
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  static constexpr std::uint32_t bucket_of(std::uint64_t v) {
+    return static_cast<std::uint32_t>(std::bit_width(v));
+  }
+
+  /// Lower/upper value edges of bucket `b` (inclusive).
+  static constexpr std::uint64_t bucket_lo(std::uint32_t b) {
+    return b == 0 ? 0 : std::uint64_t(1) << (b - 1);
+  }
+  static constexpr std::uint64_t bucket_hi(std::uint32_t b) {
+    return b == 0 ? 0
+           : b >= 64 ? ~std::uint64_t(0)
+                     : (std::uint64_t(1) << b) - 1;
+  }
+
+  void record(std::uint64_t v) {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    update_min(v);
+    update_max(v);
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t min() const {
+    const std::uint64_t m = min_.load(std::memory_order_relaxed);
+    return count() == 0 ? 0 : m;
+  }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::uint32_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Mean rounded down (integer-only, so exports stay deterministic).
+  std::uint64_t mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0 : sum() / n;
+  }
+
+  /// Deterministic quantile upper bound: the smallest bucket upper edge
+  /// such that at least ceil(pct% of count) values are <= it, clamped to
+  /// [min, max].  pct in [0, 100].
+  std::uint64_t percentile(std::uint32_t pct) const {
+    const std::uint64_t n = count();
+    if (n == 0) return 0;
+    const std::uint64_t rank =
+        std::max<std::uint64_t>(1, (n * pct + 99) / 100);
+    std::uint64_t cum = 0;
+    for (std::uint32_t b = 0; b < kBuckets; ++b) {
+      cum += bucket(b);
+      if (cum >= rank) {
+        return std::clamp(bucket_hi(b), min(), max());
+      }
+    }
+    return max();
+  }
+
+  void clear() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(~std::uint64_t(0), std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void update_min(std::uint64_t v) {
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void update_max(std::uint64_t v) {
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t(0)};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace obliv::obs

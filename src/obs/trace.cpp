@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
@@ -126,12 +127,46 @@ std::string chrome_trace_json(const Tracer& tracer) {
            ",\"args\":{\"value\":%" PRIu64 "}}",
            n.c_str(), ts_end, v);
   });
-  append(out, "\n],\"otherData\":{\"dropped_events\":%" PRIu64 "}}\n",
+  // Histograms as multi-series counter samples: Chrome/Perfetto plot each
+  // arg key as its own series under the histogram's name.
+  tracer.counters().for_each_histogram(
+      [&](const std::string& n, const Histogram& h) {
+        if (!first) out += ",\n";
+        first = false;
+        append(out,
+               "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":%"
+               PRIu64 ",\"args\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+               ",\"min\":%" PRIu64 ",\"max\":%" PRIu64 ",\"p50\":%" PRIu64
+               ",\"p90\":%" PRIu64 ",\"p99\":%" PRIu64 "}}",
+               n.c_str(), ts_end, h.count(), h.sum(), h.min(), h.max(),
+               h.percentile(50), h.percentile(90), h.percentile(99));
+      });
+  // otherData keeps the aggregate drop count first (older tooling keys on
+  // it), then per-ring pushed/dropped so a truncated stream is diagnosable
+  // per producer and machine-checkable by the analyzer.
+  append(out, "\n],\"otherData\":{\"dropped_events\":%" PRIu64 ",\"rings\":[",
          tracer.events_dropped());
+  for (std::uint32_t r = 0; r < tracer.ring_count(); ++r) {
+    append(out, "%s{\"pushed\":%" PRIu64 ",\"dropped\":%" PRIu64 "}",
+           r == 0 ? "" : ",", tracer.ring(r).pushed(),
+           tracer.ring(r).dropped());
+  }
+  out += "]}}\n";
   return out;
 }
 
 bool write_chrome_trace(const std::string& path, const Tracer& tracer) {
+  if (tracer.events_dropped() > 0) {
+    std::cerr << "obs: warning: trace is truncated -- flight-recorder rings "
+                 "overwrote "
+              << tracer.events_dropped() << " events (";
+    for (std::uint32_t r = 0; r < tracer.ring_count(); ++r) {
+      if (tracer.ring(r).dropped() == 0) continue;
+      std::cerr << "ring " << r << ": " << tracer.ring(r).dropped() << "/"
+                << tracer.ring(r).pushed() << " ";
+    }
+    std::cerr << "); span analysis will refuse this trace\n";
+  }
   std::ofstream f(path, std::ios::binary);
   if (!f) {
     std::cerr << "obs: cannot write trace to " << path << "\n";
@@ -140,6 +175,22 @@ bool write_chrome_trace(const std::string& path, const Tracer& tracer) {
   const std::string json = chrome_trace_json(tracer);
   f.write(json.data(), static_cast<std::streamsize>(json.size()));
   return static_cast<bool>(f);
+}
+
+std::string resolve_trace_out(int argc, char** argv,
+                              std::string_view fallback) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    constexpr std::string_view kFlag = "--trace-out=";
+    if (arg.substr(0, kFlag.size()) == kFlag) {
+      return std::string(arg.substr(kFlag.size()));
+    }
+  }
+  if (const char* env = std::getenv("OBLIV_TRACE_OUT");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  return std::string(fallback);
 }
 
 }  // namespace obliv::obs

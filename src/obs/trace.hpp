@@ -37,10 +37,13 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "obs/histogram.hpp"
 
 #ifndef OBLIV_OBS_TRACING
 #define OBLIV_OBS_TRACING 1
@@ -60,7 +63,7 @@ enum class EventKind : std::uint8_t {
   kTaskBegin,       ///< sim run_child enter: a=task id, b=level, c=parent id
   kTaskEnd,         ///< sim run_child exit: a=task id, b=span consumed
   kMiss,            ///< cache miss: detail=level, a=block, b=evicted block
-                    ///< (~0 = none), c=anchored task id
+                    ///< (kNoEviction = none), c=anchored task id
   kPingPong,        ///< coherence invalidation: a=block, c=anchored task id
   kSuperstep,       ///< NO superstep close: a=index, b=words, c=fold-0 h
   kEpoch,           ///< psim epoch close (opt-in via OBLIV_PSIM_TRACE=1):
@@ -68,6 +71,11 @@ enum class EventKind : std::uint8_t {
                     ///< epoch fell back to serial replay; detail=cores
                     ///< active in the epoch
 };
+
+/// Sentinel for kMiss.b: the miss installed into a free line, nothing was
+/// evicted.  Shared by the cache simulator (producer) and the trace
+/// analyzer (consumer) so eviction attribution never drifts.
+inline constexpr std::uint64_t kNoEviction = ~std::uint64_t(0);
 
 /// Why an anchoring decision picked its cache (detail byte of kAnchor).
 enum class AnchorReason : std::uint8_t {
@@ -131,6 +139,12 @@ class TraceRing {
 /// sched/metrics.hpp: metrics_to_counters() maps a RunMetrics into named
 /// entries, and the executors add scheduler counters RunMetrics never had
 /// (hint dispatch counts, anchor histogram per level, steals, ...).
+///
+/// Besides plain counters the registry holds named log-scale Histograms
+/// (obs/histogram.hpp) for distribution-shaped metrics: task grain sizes,
+/// steal latencies, superstep volumes.  Histograms live in a deque so the
+/// Histogram& handed back by histogram() stays valid across later
+/// registrations (emission sites cache the pointer per run).
 class CounterRegistry {
  public:
   std::uint64_t& counter(std::string_view name) {
@@ -154,16 +168,54 @@ class CounterRegistry {
     return 0;
   }
 
-  void clear() { items_.clear(); }
+  /// Returns (registering on first use) the histogram named `name`.  The
+  /// reference is stable for the registry's lifetime; clear() invalidates.
+  Histogram& histogram(std::string_view name) {
+    for (auto& h : hists_) {
+      if (h.name == name) return h.hist;
+    }
+    hists_.emplace_back(std::string(name));
+    return hists_.back().hist;
+  }
+  const Histogram* find_histogram(std::string_view name) const {
+    for (const auto& h : hists_) {
+      if (h.name == name) return &h.hist;
+    }
+    return nullptr;
+  }
+
+  /// Drops all plain counters and zeroes histograms *in place*:
+  /// registrations (and therefore Histogram& handles cached by emission
+  /// sites) stay valid across clear(), mirroring how lane names persist on
+  /// Tracer::clear().
+  void clear() {
+    items_.clear();
+    for (auto& h : hists_) h.hist.clear();
+  }
   std::size_t size() const { return items_.size(); }
+  std::size_t histogram_count() const { return hists_.size(); }
 
   template <class F>
   void for_each(F&& f) const {
     for (const auto& [n, v] : items_) f(n, v);
   }
 
+  /// Visits histograms in registration order: f(name, histogram).
+  template <class F>
+  void for_each_histogram(F&& f) const {
+    for (const auto& h : hists_) f(h.name, h.hist);
+  }
+
  private:
+  struct NamedHist {
+    explicit NamedHist(std::string n) : name(std::move(n)) {}
+    std::string name;
+    Histogram hist;
+  };
+
   std::vector<std::pair<std::string, std::uint64_t>> items_;
+  // deque: Histogram is non-movable (atomics) and handed out by reference.
+  std::deque<NamedHist> hists_;
 };
 
 /// The per-run trace collector: one ring per producer (sim layers use ring
@@ -215,10 +267,18 @@ class Tracer {
 
   // ---- Emission -----------------------------------------------------------
 
+  /// Suppresses event recording while keeping the tracer attached (counters
+  /// and histograms still accumulate).  This is the "metrics-only" mode the
+  /// `bench_wallclock --hist-off-check` guardrail measures: histogram sites
+  /// fire, ring traffic does not.
+  void set_events_enabled(bool enabled) { events_enabled_ = enabled; }
+  bool events_enabled() const { return events_enabled_; }
+
   /// Appends an event to `ring` (must be owned by the calling thread).
   void emit(std::uint32_t ring, EventKind kind, std::uint8_t detail,
             std::uint32_t tid, std::uint64_t a, std::uint64_t b,
             std::uint64_t c) {
+    if (!events_enabled_) return;
     Event e;
     e.ts = now();
     e.a = a;
@@ -241,6 +301,7 @@ class Tracer {
   /// so replay that happens after the fact can reproduce the exact stream
   /// a live emitter would have produced.
   void emit_prestamped(std::uint32_t ring, const Event& e) {
+    if (!events_enabled_) return;
     rings_[ring].push(e);
   }
 
@@ -301,6 +362,7 @@ class Tracer {
   std::uint64_t task_id_ = 0;
   std::uint32_t anchor_level_ = 0;
   std::uint32_t anchor_idx_ = 0;
+  bool events_enabled_ = true;
 };
 
 /// Export-lane (Chrome tid) convention shared by the emitters: cores use
@@ -320,8 +382,19 @@ inline constexpr std::uint32_t kPsimEpochLane = 91;
 std::string chrome_trace_json(const Tracer& tracer);
 
 /// Writes chrome_trace_json() to `path`; returns false (and warns on
-/// stderr) on I/O failure.
+/// stderr) on I/O failure.  If any ring overwrote events (flight-recorder
+/// drops) a warning naming the per-ring counts goes to stderr -- the
+/// exported stream is truncated and span analysis will refuse it.
 bool write_chrome_trace(const std::string& path, const Tracer& tracer);
+
+/// Resolves the shared trace-output convention used by every bench binary,
+/// examples/quickstart, and the obliv-trace CLI: an explicit
+/// `--trace-out=<path>` argument wins, else the OBLIV_TRACE_OUT environment
+/// variable, else `fallback` (empty = tracing stays off).  Lives here
+/// rather than bench/common.hpp so non-bench binaries resolve the flag
+/// identically.
+std::string resolve_trace_out(int argc, char** argv,
+                              std::string_view fallback = {});
 
 /// Human-readable names used by the exporter (and tests).
 std::string_view event_name(EventKind kind);

@@ -161,6 +161,12 @@ void WorkStealingPool::execute(Task* t) {
 Task* WorkStealingPool::try_steal(unsigned self) {
   const unsigned n = nworkers_;
   if (n <= 1) return nullptr;
+  // Victim-scan latency of a *successful* steal, recorded into the tracer's
+  // steal histogram; the clock read is paid only with a tracer attached.
+  std::chrono::steady_clock::time_point scan_t0;
+  if constexpr (obs::kTracingCompiledIn) {
+    if (tracer_ != nullptr) scan_t0 = std::chrono::steady_clock::now();
+  }
   unsigned v = static_cast<unsigned>(splitmix64(workers_[self]->rng) % n);
   if (fault::FaultPlan* p = fault::enabled(plan())) {
     // Adversarial victim selection: start the scan at a plan-chosen worker
@@ -176,6 +182,10 @@ Task* WorkStealingPool::try_steal(unsigned self) {
     if (Task* t = workers_[v]->deque.steal_top()) {
       if constexpr (obs::kTracingCompiledIn) {
         if (tracer_ != nullptr) {
+          steal_hist_->record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - scan_t0)
+                  .count()));
           tracer_->emit(ring_for(self), obs::EventKind::kTaskSteal, 0, self,
                         reinterpret_cast<std::uintptr_t>(t), v, 0);
         }
@@ -485,6 +495,9 @@ void range_run(WorkStealingPool& pool, const RangeBody& body, std::uint64_t lo,
       // A thief (or an idle worker) drained us: expose the upper half.
       const std::uint64_t mid = lo + (hi - lo) / 2;
       RangeTask upper(pool, body, mid, hi, grain, floor);
+      if constexpr (obs::kTracingCompiledIn) {
+        if (obs::Histogram* h = pool.fork_grain_hist()) h->record(hi - mid);
+      }
       pool.fork(&upper);
       range_run(pool, body, lo, mid, grain, floor);
       pool.join(&upper);

@@ -133,7 +133,27 @@ class WorkStealingPool {
   /// the Tracer threads() rings for no aliasing).  Timestamps come from
   /// steady_clock, so native traces are not deterministic.  Attach and
   /// detach only while the pool is quiescent (no run_root in flight).
-  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  ///
+  /// Also registers the pool's distribution metrics: the victim-scan
+  /// latency of successful steals and the iteration count of each forked
+  /// loop half.  Registration happens here (single-threaded) so workers
+  /// only ever touch the pre-resolved Histogram pointers, whose record()
+  /// is a handful of relaxed atomics.
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    steal_hist_ = nullptr;
+    grain_hist_ = nullptr;
+    if constexpr (obs::kTracingCompiledIn) {
+      if (tracer != nullptr) {
+        steal_hist_ = &tracer->counters().histogram("sched.steal.scan_ns");
+        grain_hist_ = &tracer->counters().histogram("sched.fork.grain_iters");
+      }
+    }
+  }
+
+  /// Histogram of iterations per forked loop half (null iff no tracer);
+  /// recorded by the lazy-splitting loop driver.
+  obs::Histogram* fork_grain_hist() const { return grain_hist_; }
 
   /// Attaches a fault::FaultPlan (nullptr detaches) that perturbs
   /// steal-victim selection (kStealVictim), inverts the pop-vs-steal help
@@ -187,6 +207,8 @@ class WorkStealingPool {
   std::atomic<int> sleepers_{0};
   std::atomic<bool> stop_{false};
   obs::Tracer* tracer_ = nullptr;
+  obs::Histogram* steal_hist_ = nullptr;
+  obs::Histogram* grain_hist_ = nullptr;
   std::atomic<fault::FaultPlan*> fault_plan_{nullptr};
 };
 

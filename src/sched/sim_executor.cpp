@@ -34,8 +34,16 @@ Result<SimExecutor> SimExecutor::make(hm::MachineConfig cfg,
 void SimExecutor::set_tracer(obs::Tracer* tracer) {
   tracer_ = tracer;
   cache_.set_tracer(tracer);
+  hist_cgc_grain_ = nullptr;
+  hist_anchor_space_ = nullptr;
+  hist_access_words_ = nullptr;
   if constexpr (obs::kTracingCompiledIn) {
     if (tracer != nullptr) {
+      hist_cgc_grain_ = &tracer->counters().histogram("sim.grain.cgc_iters");
+      hist_anchor_space_ =
+          &tracer->counters().histogram("sim.anchor.space_words");
+      hist_access_words_ =
+          &tracer->counters().histogram("sim.access.run_words");
       tracer->set_logical_clock(&work_);
       for (std::uint32_t c = 0; c < cfg_.cores(); ++c) {
         tracer->name_lane(c, "core " + std::to_string(c));
@@ -244,6 +252,9 @@ void SimExecutor::cgc_pfor(
   for (std::uint64_t start = lo; start < hi; start += base_len, ++j) {
     const std::uint64_t end_i = std::min(hi, start + base_len);
     const std::uint32_t core = first_core + (j % P);
+    if constexpr (obs::kTracingCompiledIn) {
+      if (tracer_ != nullptr) hist_cgc_grain_->record(end_i - start);
+    }
     // Each segment is anchored at the L1 cache of its core.
     trace_anchor(obs::AnchorReason::kCgcSegment, (end_i - start) * wpi, 1,
                  core);

@@ -125,6 +125,14 @@ class SimExecutor {
   /// work/span charge `words` either way, and the cache walk collapses
   /// repeat touches of a B_1 block exactly (see hm/cache_sim.hpp).
   void access(std::uint64_t addr, std::uint32_t words, bool write) {
+    if constexpr (obs::kTracingCompiledIn) {
+      // Access-run-length distribution (how effective PR 3's run batching
+      // is for this workload); recorded at capture time so serial and
+      // sharded replay produce identical registries.
+      if (tracer_ != nullptr) [[unlikely]] {
+        hist_access_words_->record(words);
+      }
+    }
     if (trace_ != nullptr) [[unlikely]] {
       trace_->push_back(TraceEntry{addr, words,
                                    static_cast<std::uint8_t>(ctx_.core),
@@ -268,6 +276,9 @@ class SimExecutor {
   }
 
   /// Records a hint dispatch (detail = static_cast<uint8_t>(Hint)).
+  /// Histogram handles (hist_*) are resolved once per set_tracer();
+  /// CounterRegistry::clear() zeroes histograms in place, so the cached
+  /// pointers stay valid across Tracer::clear() between runs.
   void trace_hint(Hint hint, std::uint64_t a, std::uint64_t b) {
     if constexpr (obs::kTracingCompiledIn) {
       if (tracer_ != nullptr) {
@@ -291,6 +302,7 @@ class SimExecutor {
     if constexpr (obs::kTracingCompiledIn) {
       if (tracer_ != nullptr) {
         if (reason == obs::AnchorReason::kSbQueued) ++tally_.sb_queued;
+        hist_anchor_space_->record(space_words);
         emit_sched(obs::EventKind::kAnchor, static_cast<std::uint8_t>(reason),
                    obs::cache_lane(level, idx), space_words, level,
                    next_task_id_ + 1);
@@ -328,6 +340,11 @@ class SimExecutor {
   std::uint64_t addr_top_ = 0;
   std::vector<TraceEntry>* trace_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  // Distribution metrics, registered by set_tracer() (null iff tracer_ is):
+  // per-CGC-segment iteration grains and per-anchor space bounds.
+  obs::Histogram* hist_cgc_grain_ = nullptr;
+  obs::Histogram* hist_anchor_space_ = nullptr;
+  obs::Histogram* hist_access_words_ = nullptr;
   std::uint64_t next_task_id_ = 0;  // task ids for obs attribution
   // Scheduler tallies published to the tracer's CounterRegistry at the end
   // of run(); plain integers so decision paths never do string lookups.

@@ -1,0 +1,420 @@
+// obliv-trace: trace analytics CLI.
+//
+// Front-end for obs/analysis.hpp.  Three ways in:
+//
+//   obliv-trace analyze <trace.json> [--weights=w1,w2,...]
+//       Ingest a Chrome trace exported by write_chrome_trace() and print
+//       the work/span/parallelism report for every run it contains.
+//       Refuses (exit 2) a trace whose flight-recorder rings overwrote
+//       events: a truncated stream breaks begin/end nesting and would
+//       silently yield a wrong span.
+//
+//   obliv-trace run <algo> [--n=N] [--weights=...] [--trace-out=PATH]
+//       Run one algorithm in-process on the reference machine
+//       (shared_l2(4)) with the tracer attached, print the report plus
+//       histogram metrics, and optionally export the raw trace
+//       (--trace-out= / OBLIV_TRACE_OUT, same contract as the benches).
+//
+//   obliv-trace bench [--out=PATH]
+//       Run all seven paper algorithms at fixed sizes with fixed seeds
+//       and write the work/span/parallelism + Brent-speedup summary as
+//       JSON (default BENCH_span.json).  Output is byte-deterministic:
+//       logical work-clock metrics only, fixed float formatting.
+//
+// Exit codes: 0 ok, 1 usage or I/O or malformed trace, 2 trace refused
+// because events were dropped.
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algo/fft.hpp"
+#include "algo/gep.hpp"
+#include "algo/listrank.hpp"
+#include "algo/scan.hpp"
+#include "algo/sort.hpp"
+#include "algo/transpose.hpp"
+#include "hm/config.hpp"
+#include "obs/analysis.hpp"
+#include "obs/trace.hpp"
+#include "sched/sim_executor.hpp"
+#include "util/rng.hpp"
+
+using namespace obliv;
+
+namespace {
+
+// Large enough that none of the built-in workloads drop events; each
+// workload gets a fresh tracer so rings never accumulate across runs.
+constexpr std::size_t kRingCapacity = std::size_t{1} << 20;
+
+// ---------------------------------------------------------------------------
+// Built-in workloads (deterministic inputs, reference machine).
+// ---------------------------------------------------------------------------
+
+struct Workload {
+  const char* name;
+  const char* what;
+  std::uint64_t n;  ///< problem size knob (elements or matrix side)
+  void (*run)(sched::SimExecutor& ex, std::uint64_t n);
+};
+
+void run_scan(sched::SimExecutor& ex, std::uint64_t n) {
+  auto buf = ex.make_buf<std::int64_t>(n);
+  for (auto& v : buf.raw()) v = 1;
+  ex.run(2 * n, [&] { algo::mo_prefix_sum(ex, buf.ref()); });
+}
+
+void run_transpose(sched::SimExecutor& ex, std::uint64_t n) {
+  auto a = ex.make_buf<double>(n * n);
+  auto out = ex.make_buf<double>(n * n);
+  util::Xoshiro256 rng(7);
+  for (auto& v : a.raw()) v = rng.uniform();
+  ex.run(3 * n * n, [&] { algo::mo_transpose(ex, a.ref(), out.ref(), n); });
+}
+
+void run_matmul(sched::SimExecutor& ex, std::uint64_t n) {
+  using Mat = sched::MatView<sched::SimRef<double>>;
+  auto c = ex.make_buf<double>(n * n);
+  auto a = ex.make_buf<double>(n * n);
+  auto b = ex.make_buf<double>(n * n);
+  util::Xoshiro256 rng(11);
+  for (auto& v : a.raw()) v = rng.uniform();
+  for (auto& v : b.raw()) v = rng.uniform();
+  ex.run(4 * n * n, [&] {
+    algo::mo_matmul(ex, Mat::full(c.ref(), n, n), Mat::full(a.ref(), n, n),
+                    Mat::full(b.ref(), n, n));
+  });
+}
+
+void run_fft(sched::SimExecutor& ex, std::uint64_t n) {
+  auto buf = ex.make_buf<algo::cplx>(n);
+  util::Xoshiro256 rng(13);
+  for (auto& v : buf.raw()) v = algo::cplx(rng.uniform(), 0.0);
+  ex.run(6 * n, [&] { algo::mo_fft(ex, buf.ref()); });
+}
+
+void run_sort(sched::SimExecutor& ex, std::uint64_t n) {
+  auto buf = ex.make_buf<std::uint64_t>(n);
+  util::Xoshiro256 rng(17);
+  for (auto& v : buf.raw()) v = rng();
+  ex.run(4 * n, [&] { algo::spms_sort(ex, buf.ref()); });
+}
+
+void run_igep(sched::SimExecutor& ex, std::uint64_t n) {
+  using Mat = sched::MatView<sched::SimRef<double>>;
+  auto buf = ex.make_buf<double>(n * n);
+  util::Xoshiro256 rng(19);
+  for (auto& v : buf.raw()) v = rng.uniform() + 0.1;
+  ex.run(n * n, [&] {
+    algo::igep<algo::FloydWarshallInstance>(ex, Mat::full(buf.ref(), n, n));
+  });
+}
+
+void run_listrank(sched::SimExecutor& ex, std::uint64_t n) {
+  // Random-permutation linked list (same construction as bench_listrank).
+  std::vector<std::uint64_t> perm(n);
+  for (std::uint64_t i = 0; i < n; ++i) perm[i] = i;
+  util::Xoshiro256 rng(23);
+  for (std::uint64_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.below(i)]);
+  }
+  auto sb = ex.make_buf<std::uint64_t>(n);
+  auto pb = ex.make_buf<std::uint64_t>(n);
+  auto db = ex.make_buf<std::uint64_t>(n);
+  for (auto& v : sb.raw()) v = algo::kNil;
+  for (auto& v : pb.raw()) v = algo::kNil;
+  for (std::uint64_t t = 0; t + 1 < n; ++t) {
+    sb.raw()[perm[t]] = perm[t + 1];
+    pb.raw()[perm[t + 1]] = perm[t];
+  }
+  ex.run(8 * n, [&] { algo::mo_list_rank(ex, sb.ref(), pb.ref(), db.ref()); });
+}
+
+constexpr Workload kWorkloads[] = {
+    {"scan", "prefix sums (Sec III-A)", 1u << 12, run_scan},
+    {"transpose", "MO-MT matrix transposition (Thm 1)", 64, run_transpose},
+    {"matmul", "recursive matrix multiply (Sec III-B)", 32, run_matmul},
+    {"fft", "MO-FFT (Thm 2)", 1u << 12, run_fft},
+    {"sort", "SPMS sample-partition sort (Thm 3-5)", 1u << 12, run_sort},
+    // n=64: n^2 words overflow an L1 (2048w), so the root anchors at the
+    // shared L2 and the quadrant rounds fan out across the four L1s; at
+    // n=32 the whole problem fits one L1 and correctly serializes.
+    {"igep", "I-GEP Floyd-Warshall (Sec IV, Table I)", 64, run_igep},
+    {"listrank", "MO-LR list ranking (Thm 7)", 1u << 11, run_listrank},
+};
+
+const Workload* find_workload(std::string_view name) {
+  for (const auto& w : kWorkloads) {
+    if (name == w.name) return &w;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Flag helpers
+// ---------------------------------------------------------------------------
+
+bool flag_value(int argc, char** argv, std::string_view key,
+                std::string& out) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.size() > key.size() && arg.substr(0, key.size()) == key) {
+      out = std::string(arg.substr(key.size()));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::uint64_t> parse_weights(const std::string& csv) {
+  std::vector<std::uint64_t> out;
+  std::stringstream ss(csv);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "obliv-trace: work/span analytics over obs traces\n"
+      "\n"
+      "usage:\n"
+      "  obliv-trace analyze <trace.json> [--weights=w1,w2,...]\n"
+      "  obliv-trace run <algo> [--n=N] [--weights=...] [--trace-out=PATH]\n"
+      "  obliv-trace bench [--out=PATH]\n"
+      "  obliv-trace list\n"
+      "\n"
+      "algos: ");
+  for (const auto& w : kWorkloads) std::fprintf(stderr, "%s ", w.name);
+  std::fprintf(stderr, "\nexit codes: 0 ok, 1 error, 2 trace refused "
+                       "(dropped events)\n");
+  return 1;
+}
+
+// ---------------------------------------------------------------------------
+// Modes
+// ---------------------------------------------------------------------------
+
+int report_all(const obs::TraceData& trace, const obs::AnalysisOptions& opts,
+               std::string_view title_prefix) {
+  if (trace.dropped_events != 0) {
+    std::fprintf(stderr,
+                 "obliv-trace: refusing to analyze: %" PRIu64
+                 " events were dropped by the flight recorder; the "
+                 "begin/end nesting is incomplete and any span computed "
+                 "from it would be wrong.  Re-record with a larger ring "
+                 "(Tracer capacity) or a smaller run.\n",
+                 trace.dropped_events);
+    return 2;
+  }
+  auto runs = obs::analyze(trace, opts);
+  if (!runs.ok()) {
+    std::fprintf(stderr, "obliv-trace: %s\n",
+                 runs.status().message().c_str());
+    return 1;
+  }
+  for (std::size_t i = 0; i < runs.value().size(); ++i) {
+    std::string title(title_prefix);
+    if (runs.value().size() > 1) {
+      title += " (run " + std::to_string(i + 1) + " of " +
+               std::to_string(runs.value().size()) + ")";
+    }
+    std::fputs(obs::render_report(runs.value()[i], title).c_str(), stdout);
+    if (i + 1 < runs.value().size()) std::fputs("\n", stdout);
+  }
+  return 0;
+}
+
+int mode_analyze(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const char* path = argv[2];
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "obliv-trace: cannot open %s\n", path);
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  auto trace = obs::parse_chrome_trace(json);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "obliv-trace: %s: %s\n", path,
+                 trace.status().message().c_str());
+    return 1;
+  }
+  obs::AnalysisOptions opts;
+  std::string w;
+  if (flag_value(argc, argv, "--weights=", w)) opts.miss_weights =
+      parse_weights(w);
+  return report_all(trace.value(), opts, path);
+}
+
+int mode_run(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const Workload* w = find_workload(argv[2]);
+  if (w == nullptr) {
+    std::fprintf(stderr, "obliv-trace: unknown algo '%s' (try list)\n",
+                 argv[2]);
+    return 1;
+  }
+  std::uint64_t n = w->n;
+  std::string s;
+  if (flag_value(argc, argv, "--n=", s)) {
+    n = std::strtoull(s.c_str(), nullptr, 10);
+    if (n == 0) {
+      std::fprintf(stderr, "obliv-trace: bad --n\n");
+      return 1;
+    }
+  }
+  const hm::MachineConfig cfg = hm::MachineConfig::shared_l2(4);
+  obs::Tracer tracer(1, kRingCapacity);
+  sched::SimExecutor ex(cfg);
+  ex.set_tracer(&tracer);
+  w->run(ex, n);
+  ex.set_tracer(nullptr);
+
+  const std::string out = obs::resolve_trace_out(argc, argv);
+  if (!out.empty()) obs::write_chrome_trace(out, tracer);
+
+  obs::AnalysisOptions opts;
+  if (flag_value(argc, argv, "--weights=", s)) opts.miss_weights =
+      parse_weights(s);
+  std::string title = std::string(w->name) + " n=" + std::to_string(n) +
+                      " on " + cfg.describe();
+  const int rc = report_all(obs::capture_trace(tracer), opts, title);
+  if (rc != 0) return rc;
+  const std::string hist = obs::render_histograms(tracer.counters());
+  if (!hist.empty()) {
+    std::fputs("\n-- histogram metrics --\n", stdout);
+    std::fputs(hist.c_str(), stdout);
+  }
+  return 0;
+}
+
+void json_speedups(std::string& out, const std::vector<obs::SpeedupRow>& sp) {
+  char tmp[128];
+  out += "[";
+  for (std::size_t i = 0; i < sp.size(); ++i) {
+    std::snprintf(tmp, sizeof tmp,
+                  "%s{\"p\":%u,\"work_clock\":%.6f,\"mem_weighted\":%.6f}",
+                  i == 0 ? "" : ",", sp[i].p, sp[i].predicted_speedup,
+                  sp[i].predicted_speedup_mem);
+    out += tmp;
+  }
+  out += "]";
+}
+
+void json_u64s(std::string& out, const std::vector<std::uint64_t>& v) {
+  char tmp[32];
+  out += "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::snprintf(tmp, sizeof tmp, "%s%" PRIu64, i == 0 ? "" : ",", v[i]);
+    out += tmp;
+  }
+  out += "]";
+}
+
+int mode_bench(int argc, char** argv) {
+  std::string path = "BENCH_span.json";
+  std::string s;
+  if (flag_value(argc, argv, "--out=", s)) path = s;
+
+  const hm::MachineConfig cfg = hm::MachineConfig::shared_l2(4);
+  std::string json = "{\n  \"machine\": \"" + cfg.describe() + "\",\n";
+  json += "  \"note\": \"logical work-clock metrics from the deterministic "
+          "simulator; speedups are Brent bounds W/(W/p+S), not wall-clock "
+          "measurements\",\n";
+  json += "  \"algorithms\": [\n";
+
+  char tmp[256];
+  bool first = true;
+  for (const auto& w : kWorkloads) {
+    obs::Tracer tracer(1, kRingCapacity);
+    sched::SimExecutor ex(cfg);
+    ex.set_tracer(&tracer);
+    w.run(ex, w.n);
+    ex.set_tracer(nullptr);
+    if (tracer.events_dropped() != 0) {
+      std::fprintf(stderr,
+                   "obliv-trace: bench workload %s dropped %" PRIu64
+                   " events; enlarge kRingCapacity\n",
+                   w.name, tracer.events_dropped());
+      return 2;
+    }
+    auto runs = obs::analyze_tracer(tracer);
+    if (!runs.ok() || runs.value().size() != 1) {
+      std::fprintf(stderr, "obliv-trace: bench workload %s: %s\n", w.name,
+                   runs.ok() ? "expected exactly one run"
+                             : runs.status().message().c_str());
+      return 1;
+    }
+    const obs::RunAnalysis& r = runs.value()[0];
+    if (!r.span_matches_recorded) {
+      std::fprintf(stderr,
+                   "obliv-trace: bench workload %s: recomputed span "
+                   "disagrees with executor (%" PRIu64 " tasks)\n",
+                   w.name, r.span_mismatches);
+      return 1;
+    }
+    if (!first) json += ",\n";
+    first = false;
+    std::snprintf(tmp, sizeof tmp,
+                  "    {\"name\":\"%s\",\"n\":%" PRIu64 ",\"tasks\":%zu,"
+                  "\"work\":%" PRIu64 ",\"span\":%" PRIu64
+                  ",\"parallelism\":%.6f,",
+                  w.name, w.n, r.tasks.size(), r.work, r.span, r.parallelism);
+    json += tmp;
+    std::snprintf(tmp, sizeof tmp,
+                  "\"mem_work\":%" PRIu64 ",\"mem_span\":%" PRIu64
+                  ",\"mem_parallelism\":%.6f,",
+                  r.mem_work, r.mem_span, r.mem_parallelism);
+    json += tmp;
+    json += "\"miss_weights\":";
+    json_u64s(json, r.miss_weights);
+    json += ",\"total_misses\":";
+    json_u64s(json, r.total_misses);
+    json += ",\"predicted_speedup\":";
+    json_speedups(json, r.speedups);
+    json += "}";
+    std::printf("%-10s n=%-6" PRIu64 " tasks=%-6zu work=%-10" PRIu64
+                " span=%-8" PRIu64 " parallelism=%.3f\n",
+                w.name, w.n, r.tasks.size(), r.work, r.span, r.parallelism);
+  }
+  json += "\n  ]\n}\n";
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "obliv-trace: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << json;
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+int mode_list() {
+  for (const auto& w : kWorkloads) {
+    std::printf("%-10s n=%-6" PRIu64 " %s\n", w.name, w.n, w.what);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string_view mode = argv[1];
+  if (mode == "analyze") return mode_analyze(argc, argv);
+  if (mode == "run") return mode_run(argc, argv);
+  if (mode == "bench") return mode_bench(argc, argv);
+  if (mode == "list") return mode_list();
+  return usage();
+}
