@@ -443,7 +443,7 @@ int main(int argc, char** argv) {
   const unsigned psim_threads =
       g_threads != 0 ? g_threads : hm::psim_threads_from_env();
   std::cout << "host hardware_concurrency = " << bench::host_concurrency()
-            << ", pinned = " << (bench::kThreadsPinned ? "yes" : "no")
+            << ", pinned = " << (bench::threads_pinned() ? "yes" : "no")
             << ", psim default mode = "
             << (hm::resolve_psim_mode(hm::PsimMode::kAuto) ==
                         hm::PsimMode::kSharded

@@ -31,14 +31,18 @@
 
 #include "algo/fft.hpp"
 #include "algo/gep.hpp"
+#include "algo/graphgen.hpp"
 #include "algo/scan.hpp"
 #include "algo/sort.hpp"
+#include "algo/spmdv.hpp"
 #include "algo/transpose.hpp"
 #include "bench/common.hpp"
+#include "bench/simd_kernel_benches.hpp"
 #include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "sched/native_executor.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 using namespace obliv;
 
@@ -126,6 +130,37 @@ std::vector<Workload> workloads(bool smoke) {
                        v = algo::cplx(rng.uniform(), 0.0);
                      }
                      algo::mo_fft(ex, buf->ref());
+                   });
+                 }});
+  }
+  {
+    const std::uint64_t n = smoke ? 48 : 128;
+    auto x = std::make_shared<sched::NatBuf<double>>(n * n);
+    w.push_back({"igep-fw", n, [x, n](Exec& ex) {
+                   return std::function<void()>([&ex, x, n] {
+                     util::Xoshiro256 rng(6);
+                     for (auto& v : x->raw()) v = rng.uniform() + 0.01;
+                     algo::igep<algo::FloydWarshallInstance>(
+                         ex, Mat::full(x->ref(), n, n));
+                   });
+                 }});
+  }
+  {
+    const std::uint64_t side = smoke ? 32 : 128;
+    auto m = std::make_shared<algo::SparseMatrix>(
+        algo::grid_matrix_reordered(side));
+    auto av = std::make_shared<sched::NatBuf<algo::SpmEntry>>(m->nnz());
+    auto a0 = std::make_shared<sched::NatBuf<std::uint64_t>>(m->n + 1);
+    auto xv = std::make_shared<sched::NatBuf<double>>(m->n);
+    auto yv = std::make_shared<sched::NatBuf<double>>(m->n);
+    av->raw() = m->av;
+    a0->raw() = m->a0;
+    util::Xoshiro256 rng(7);
+    for (auto& v : xv->raw()) v = rng.uniform();
+    w.push_back({"spmdv", m->n, [av, a0, xv, yv](Exec& ex) {
+                   return std::function<void()>([&ex, av, a0, xv, yv] {
+                     algo::mo_spmdv(ex, av->ref(), a0->ref(), xv->ref(),
+                                    yv->ref());
                    });
                  }});
   }
@@ -397,18 +432,178 @@ int fault_off_check(bool smoke, int reps) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// SIMD kernel scaling rows
+// ---------------------------------------------------------------------------
+
+// KernelBench + kernel_benches() live in bench/simd_kernel_benches.hpp,
+// shared with bench_native_cache's hardware-counter validation section.
+using bench::kernel_benches;
+
+/// Default-run section: every kernel family timed under Mode::kAuto (vector
+/// when the host supports it) and Mode::kScalar (the OBLIV_SIMD=OFF
+/// arithmetic), reps interleaved so both modes sample the same interference
+/// windows.  Rows land in BENCH_wallclock.json as bench="simd:<family>",
+/// sched="auto"|"scalar"; the printed ratio column is scalar/auto (>1 means
+/// the vector path wins) with a geometric mean over families.
+void simd_kernel_section(bool smoke, int reps, bench::JsonRecorder& json) {
+  bench::print_header("SIMD kernels: scalar vs vector dispatch");
+  std::printf("active ISA under kAuto: %s (lane width %u), compiled %s\n",
+              simd::active_isa(), simd::lane_width(),
+              simd::kSimdCompiledIn ? "in" : "out");
+  util::Table t({"kernel", "n", "scalar ns/op", "auto ns/op", "scalar/auto"});
+  double log_sum = 0.0;
+  std::size_t families = 0;
+  for (auto& kb : kernel_benches(smoke)) {
+    double best_auto = 0.0, best_scalar = 0.0;
+    kb.run();  // warm-up (whatever mode; touches the buffers)
+    for (int r = 0; r < reps; ++r) {
+      double a, s;
+      if (r % 2 == 0) {
+        {
+          simd::ScopedMode m(simd::Mode::kAuto);
+          a = bench::time_once_ns(kb.run);
+        }
+        {
+          simd::ScopedMode m(simd::Mode::kScalar);
+          s = bench::time_once_ns(kb.run);
+        }
+      } else {
+        {
+          simd::ScopedMode m(simd::Mode::kScalar);
+          s = bench::time_once_ns(kb.run);
+        }
+        {
+          simd::ScopedMode m(simd::Mode::kAuto);
+          a = bench::time_once_ns(kb.run);
+        }
+      }
+      if (r == 0 || a < best_auto) best_auto = a;
+      if (r == 0 || s < best_scalar) best_scalar = s;
+    }
+    const double ops = static_cast<double>(kb.n) * static_cast<double>(kb.iters);
+    const double auto_ns = best_auto / ops, scalar_ns = best_scalar / ops;
+    json.add("simd:" + kb.name, "scalar", 1, kb.n, scalar_ns, reps);
+    json.add("simd:" + kb.name, "auto", 1, kb.n, auto_ns, reps);
+    t.add_row({kb.name, util::Table::fmt(kb.n),
+               util::Table::fmt(scalar_ns, "%.3f"),
+               util::Table::fmt(auto_ns, "%.3f"),
+               util::Table::fmt(scalar_ns / auto_ns, "%.2f")});
+    log_sum += std::log(scalar_ns / auto_ns);
+    ++families;
+  }
+  t.print(std::cout);
+  std::printf("geomean scalar/auto speedup over %zu families: %.2fx%s\n",
+              families, std::exp(log_sum / static_cast<double>(families)),
+              simd::vector_active() ? "" : "  (vector path inactive: ~1.0x)");
+}
+
+/// `--simd-off-check` mode: the guardrail for the kernel dispatch layer.
+/// Mode::kScalar runs the same arithmetic an OBLIV_SIMD=OFF build runs;
+/// Mode::kGeneric makes use_kernels() false, so leaves take their pre-kernel
+/// generic loops.  The scalar kernel paths must not be materially slower
+/// than those generic loops -- otherwise turning SIMD off (or running on a
+/// non-vector host) would regress below the pre-SIMD baseline.  Same
+/// paired-ratio statistics as --fault-off-check: per rep the generic /
+/// generic / scalar cells run back-to-back with alternating order,
+/// within-rep ratios aggregate as medians, gate (full mode only) is
+/// overhead <= max(5%, A/A noise + 1%) -- 5% because scalar kernels and
+/// generic loops are genuinely different code, not one branch apart.
+int simd_off_check(bool smoke, int reps) {
+  bench::print_header("scalar kernel paths vs pre-kernel generic loops");
+  const unsigned threads = 4;
+  std::printf("threads = %u, simd compiled %s, gate %s\n", threads,
+              simd::kSimdCompiledIn ? "in" : "out",
+              smoke ? "off (smoke)" : "on (<= max(5%, A/A noise + 1%))");
+  util::Table t({"workload", "generic ns/op", "A/A noise", "scalar ns/op",
+                 "overhead"});
+  bool gate_ok = true;
+  struct Measurement {
+    double best_off, best_on, noise_pct, over_pct;
+  };
+  auto measure = [&](const Workload& w) {
+    Exec ex(threads, 1 << 12, sched::SchedMode::kWorkSteal);
+    auto run = w.make(ex);
+    run();  // warm-up
+    double best_off = 0, best_on = 0;
+    std::vector<double> over_ratios, noise_ratios;
+    for (int r = 0; r < reps; ++r) {
+      double a, a2, b;
+      if (r % 2 == 0) {
+        {
+          simd::ScopedMode m(simd::Mode::kGeneric);
+          a = bench::time_once_ns(run);
+          a2 = bench::time_once_ns(run);
+        }
+        {
+          simd::ScopedMode m(simd::Mode::kScalar);
+          b = bench::time_once_ns(run);
+        }
+      } else {
+        {
+          simd::ScopedMode m(simd::Mode::kScalar);
+          b = bench::time_once_ns(run);
+        }
+        {
+          simd::ScopedMode m(simd::Mode::kGeneric);
+          a2 = bench::time_once_ns(run);
+          a = bench::time_once_ns(run);
+        }
+      }
+      over_ratios.push_back(b / a2);
+      noise_ratios.push_back(a / a2);
+      const double off = std::min(a, a2);
+      if (r == 0 || off < best_off) best_off = off;
+      if (r == 0 || b < best_on) best_on = b;
+    }
+    auto median = [](std::vector<double> v) {
+      std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+      return v[v.size() / 2];
+    };
+    return Measurement{best_off, best_on,
+                       100.0 * std::abs(median(noise_ratios) - 1.0),
+                       100.0 * (median(over_ratios) - 1.0)};
+  };
+  auto within = [smoke](const Measurement& m) {
+    return smoke || m.over_pct <= std::max(5.0, m.noise_pct + 1.0);
+  };
+  for (const auto& w : workloads(smoke)) {
+    Measurement m = measure(w);
+    bool ok = within(m);
+    if (!ok) {
+      // Confirm before failing (same rationale as fault_off_check): a real
+      // scalar-kernel regression reproduces, a load-resonance blip does not.
+      m = measure(w);
+      ok = within(m);
+    }
+    gate_ok = gate_ok && ok;
+    t.add_row({w.name + (ok ? "" : "  <-- FAIL"),
+               util::Table::fmt(m.best_off, "%.0f"),
+               util::Table::fmt(m.noise_pct, "%.2f%%"),
+               util::Table::fmt(m.best_on, "%.0f"),
+               util::Table::fmt(m.over_pct, "%+.2f%%")});
+  }
+  t.print(std::cout);
+  if (!gate_ok) {
+    std::printf("\nFAIL: scalar kernel paths regress past the generic loops\n");
+    return 1;
+  }
+  std::printf("\nOK: scalar kernel paths hold up against the generic loops\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // bench_wallclock [--quick | --reps N | --smoke | --trace |
-  // --fault-off-check | --hist-off-check]: more reps -> tighter minima
-  // on a noisy host;
-  // --trace measures obs tracing overhead and --fault-off-check gates the
-  // inactive fault-injection layer's overhead instead of the backend
-  // comparison.
+  // --fault-off-check | --hist-off-check | --simd-off-check]: more reps ->
+  // tighter minima on a noisy host;
+  // --trace measures obs tracing overhead; --fault-off-check gates the
+  // inactive fault-injection layer's overhead; --simd-off-check gates the
+  // scalar kernel paths against the pre-kernel generic loops.
   int reps = 5;
   bool smoke = false, trace = false, fault_check = false,
-       hist_check = false;
+       hist_check = false, simd_check = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") reps = 3;
@@ -422,9 +617,13 @@ int main(int argc, char** argv) {
     if (arg == "--trace") trace = true;
     if (arg == "--fault-off-check") fault_check = true;
     if (arg == "--hist-off-check") hist_check = true;
+    if (arg == "--simd-off-check") simd_check = true;
   }
   if (fault_check) {
     return fault_off_check(smoke, smoke ? 3 : std::max(reps, 15));
+  }
+  if (simd_check) {
+    return simd_off_check(smoke, smoke ? 3 : std::max(reps, 15));
   }
   if (hist_check) {
     return hist_off_check(smoke, smoke ? 3 : std::max(reps, 15));
@@ -436,18 +635,31 @@ int main(int argc, char** argv) {
         smoke, smoke ? 1 : std::max(reps, 5),
         obs::resolve_trace_out(argc, argv, "wallclock_trace.json"));
   }
-  const std::vector<unsigned> thread_counts =
+  // Host-aware thread sweep: the canonical {1,2,4,8} rows (comparable
+  // across hosts and PRs) plus the host's own core count when it is not
+  // already in the list, so a speedup-vs-threads curve always has a point
+  // at full hardware concurrency.  On a 1-core host the extra point is
+  // already present and the multi-thread rows keep their historical
+  // meaning: scheduler overhead under oversubscription.
+  std::vector<unsigned> thread_counts =
       smoke ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 2, 4, 8};
+  const unsigned hc = bench::host_concurrency();
+  if (!smoke && hc <= 64 &&
+      std::find(thread_counts.begin(), thread_counts.end(), hc) ==
+          thread_counts.end()) {
+    thread_counts.insert(
+        std::upper_bound(thread_counts.begin(), thread_counts.end(), hc), hc);
+  }
   const std::vector<std::pair<std::string, sched::SchedMode>> backends{
       {"steal", sched::SchedMode::kWorkSteal},
       {"sharedq", sched::SchedMode::kSharedQueue}};
 
   bench::print_header("Native wall clock: work stealing vs shared queue");
   std::printf(
-      "hardware_concurrency = %u  (with fewer cores than threads, "
-      "multi-thread rows\n measure scheduling overhead; self-relative "
-      "speedup still ranks the backends)\n",
-      std::thread::hardware_concurrency());
+      "hardware_concurrency = %u, pinned = %s  (with fewer cores than "
+      "threads, multi-thread rows\n measure scheduling overhead; "
+      "self-relative speedup still ranks the backends)\n",
+      hc, bench::threads_pinned() ? "yes" : "no");
 
   bench::JsonRecorder json("BENCH_wallclock.json");
   for (const auto& w : workloads(smoke)) {
@@ -502,6 +714,7 @@ int main(int argc, char** argv) {
     std::cout << "\n-- " << w.name << " (n=" << w.n << ") --\n";
     t.print(std::cout);
   }
+  simd_kernel_section(smoke, smoke ? 2 : std::max(reps, 7), json);
   if (!smoke) json.write();  // smoke numbers would pollute the trajectory
   return 0;
 }

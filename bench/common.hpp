@@ -21,6 +21,7 @@
 
 #include "hm/config.hpp"
 #include "obs/trace.hpp"
+#include "sched/native_executor.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -171,10 +172,17 @@ inline unsigned host_concurrency() {
   return hc == 0 ? 1 : hc;
 }
 
-/// The bench binaries do not pin worker threads to cores (no affinity
-/// calls anywhere in the tree); recorded alongside hardware_concurrency so
-/// a future pinned configuration is distinguishable in the JSON history.
-inline constexpr bool kThreadsPinned = false;
+/// True when this bench run pins its threads: OBLIV_PIN is set (see
+/// sched::pinning_requested) and the platform affinity call works.  The
+/// first call pins the calling (main/worker-0) thread to core 0 -- the pool
+/// workers pin themselves on spawn -- so measurement runs under OBLIV_PIN=1
+/// are fully pinned.  Recorded alongside hardware_concurrency so pinned and
+/// unpinned rows are never compared as like-for-like in the JSON history.
+inline bool threads_pinned() {
+  static const bool pinned =
+      sched::pinning_requested() && sched::pin_current_thread(0);
+  return pinned;
+}
 
 /// One timed execution of `fn`, in nanoseconds.
 inline double time_once_ns(const std::function<void()>& fn) {
@@ -233,13 +241,15 @@ class JsonRecorder {
     }
     out << "{\n  \"git_rev\": \"" << git_rev() << "\",\n";
     out << "  \"hardware_concurrency\": " << host_concurrency() << ",\n";
-    out << "  \"pinned\": " << (kThreadsPinned ? "true" : "false") << ",\n";
+    out << "  \"pinned\": " << (threads_pinned() ? "true" : "false") << ",\n";
     out << "  \"records\": [\n";
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
       out << "    {\"bench\": \"" << r.bench << "\", \"sched\": \"" << r.sched
           << "\", \"threads\": " << r.threads << ", \"n\": " << r.n
-          << ", \"ns_per_op\": " << util::Table::fmt(r.ns_per_op, "%.1f")
+          // three decimals: the simd:* kernel rows are per-element and
+          // sub-nanosecond, where one decimal would quantize the ratios.
+          << ", \"ns_per_op\": " << util::Table::fmt(r.ns_per_op, "%.3f")
           << ", \"reps\": " << r.reps << "}"
           << (i + 1 < records_.size() ? "," : "") << "\n";
     }
@@ -292,7 +302,7 @@ class SimRateRecorder {
     }
     out << "{\n  \"git_rev\": \"" << git_rev() << "\",\n";
     out << "  \"hardware_concurrency\": " << host_concurrency() << ",\n";
-    out << "  \"pinned\": " << (kThreadsPinned ? "true" : "false") << ",\n";
+    out << "  \"pinned\": " << (threads_pinned() ? "true" : "false") << ",\n";
     out << "  \"records\": [\n";
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];

@@ -23,14 +23,22 @@
 #include <vector>
 
 #include "algo/transpose.hpp"
+#include "sched/hints.hpp"
 #include "sched/views.hpp"
 #include "util/bits.hpp"
+#include "util/simd.hpp"
 
 namespace obliv::algo {
 
 using cplx = std::complex<double>;
 
 namespace detail {
+
+/// Native refs over complex<double> may take the split re/im simd kernels.
+template <class Ref>
+inline constexpr bool fft_kernel_v =
+    sched::is_direct_ref_v<Ref> &&
+    std::is_same_v<typename Ref::value_type, cplx>;
 
 /// Direct O(m^2) DFT used at the recursion base (m is a small constant, so
 /// this does not affect asymptotics).  Convention: Y[f] = sum_t x[t] *
@@ -40,6 +48,26 @@ void dft_base(Exec& ex, Ref x) {
   const std::uint64_t m = x.size();
   cplx in[8], out[8];
   assert(m <= 8);
+  if constexpr (fft_kernel_v<Ref>) {
+    if (simd::use_kernels()) {
+      // Split re/im base case; the kernel uses the same twiddle expression
+      // and accumulation order, so the result is bit-identical.
+      double re_in[8] = {}, im_in[8] = {}, re_out[8], im_out[8];
+      const double* xs = reinterpret_cast<const double*>(x.raw());
+      for (std::uint64_t t = 0; t < m; ++t) {
+        re_in[t] = xs[2 * t];
+        im_in[t] = xs[2 * t + 1];
+      }
+      simd::dft_pow2_f64(re_in, im_in, re_out, im_out,
+                         static_cast<unsigned>(m));
+      double* xd = reinterpret_cast<double*>(x.raw());
+      for (std::uint64_t f = 0; f < m; ++f) {
+        xd[2 * f] = re_out[f];
+        xd[2 * f + 1] = im_out[f];
+      }
+      return;
+    }
+  }
   for (std::uint64_t t = 0; t < m; ++t) in[t] = x.load(t);
   for (std::uint64_t f = 0; f < m; ++f) {
     cplx acc{0.0, 0.0};
@@ -81,6 +109,22 @@ void mo_fft(Exec& ex, Ref x) {
 
   // Line 3 [CGC]: A[i][j] := X[i*n2 + j] for i < n1, j < n2.
   ex.cgc_pfor(0, n, W, [&](std::uint64_t lo, std::uint64_t hi) {
+    if constexpr (detail::fft_kernel_v<Ref>) {
+      if (simd::use_kernels()) {
+        // Row i of the n1 x n2 region is the contiguous run
+        // x[i*n2 .. (i+1)*n2) landing at A + i*n1; move per-segment.
+        cplx* a0 = A.row(0).raw();
+        const cplx* xs = x.raw();
+        std::uint64_t z = lo;
+        while (z < hi) {
+          const std::uint64_t i = z / n2, j = z % n2;
+          const std::uint64_t cnt = std::min(hi - z, n2 - j);
+          simd::copy_elems(xs + z, a0 + i * n1 + j, cnt);
+          z += cnt;
+        }
+        return;
+      }
+    }
     for (std::uint64_t z = lo; z < hi; ++z) {
       A.store(z / n2, z % n2, x.load(z));
     }
@@ -120,6 +164,14 @@ void mo_fft(Exec& ex, Ref x) {
 
   // Line 10 [CGC]: copy the first n entries of A back into X.
   ex.cgc_pfor(0, n, W, [&](std::uint64_t lo, std::uint64_t hi) {
+    if constexpr (detail::fft_kernel_v<Ref>) {
+      if (simd::use_kernels()) {
+        // A's leading dimension is n1, so element (z/n1, z%n1) sits at flat
+        // offset z: the copy-back is one contiguous run.
+        simd::copy_elems(A.row(0).raw() + lo, x.raw() + lo, hi - lo);
+        return;
+      }
+    }
     for (std::uint64_t z = lo; z < hi; ++z) {
       x.store(z, A.load(z / n1, z % n1));
     }
@@ -163,6 +215,60 @@ void iterative_fft(Exec& ex, Ref x) {
       x.store(r, a);
     }
   });
+  if constexpr (detail::fft_kernel_v<Ref>) {
+    if (simd::use_kernels()) {
+      // Native fast path: deinterleave once into split re/im arrays,
+      // precompute each pass's twiddles with the same polar(1, -2*pi*off/len)
+      // expression, and run every pass through the vector butterflies.
+      // Finite-input results are bit-identical to the generic loop below.
+      auto rebuf = ex.template make_buf<double>(n);
+      auto imbuf = ex.template make_buf<double>(n);
+      auto wrbuf = ex.template make_buf<double>(n / 2);
+      auto wibuf = ex.template make_buf<double>(n / 2);
+      double* re = rebuf.ref().raw();
+      double* im = imbuf.ref().raw();
+      double* wre = wrbuf.ref().raw();
+      double* wim = wibuf.ref().raw();
+      double* xd = reinterpret_cast<double*>(x.raw());
+      ex.cgc_pfor(0, n, W, [&](std::uint64_t lo, std::uint64_t hi) {
+        for (std::uint64_t z = lo; z < hi; ++z) {
+          re[z] = xd[2 * z];
+          im[z] = xd[2 * z + 1];
+        }
+      });
+      for (std::uint64_t len = 2; len <= n; len <<= 1) {
+        const std::uint64_t half = len / 2;
+        for (std::uint64_t off = 0; off < half; ++off) {
+          const double ang = -2.0 * std::numbers::pi *
+                             static_cast<double>(off) /
+                             static_cast<double>(len);
+          wre[off] = std::cos(ang);
+          wim[off] = std::sin(ang);
+        }
+        // Butterfly t = (blk, off) touches re/im[blk*len + off] and its
+        // partner at +half; a contiguous t-range decomposes into per-block
+        // off-segments, each one kernel call.
+        ex.cgc_pfor(0, n / 2, 2 * W, [&](std::uint64_t lo, std::uint64_t hi) {
+          std::uint64_t t = lo;
+          while (t < hi) {
+            const std::uint64_t blk = t / half, off = t % half;
+            const std::uint64_t cnt = std::min(hi - t, half - off);
+            const std::uint64_t base = blk * len + off;
+            simd::butterfly_f64(re + base, im + base, re + base + half,
+                                im + base + half, wre + off, wim + off, cnt);
+            t += cnt;
+          }
+        });
+      }
+      ex.cgc_pfor(0, n, W, [&](std::uint64_t lo, std::uint64_t hi) {
+        for (std::uint64_t z = lo; z < hi; ++z) {
+          xd[2 * z] = re[z];
+          xd[2 * z + 1] = im[z];
+        }
+      });
+      return;
+    }
+  }
   for (std::uint64_t len = 2; len <= n; len <<= 1) {
     const std::uint64_t half = len / 2;
     ex.cgc_pfor_each(0, n / 2, 2 * W, [&](std::uint64_t t) {

@@ -18,12 +18,14 @@
 // O(n^3/p) parallel steps.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <vector>
 
 #include "sched/hints.hpp"
 #include "sched/views.hpp"
+#include "util/simd.hpp"
 
 namespace obliv::algo {
 
@@ -56,6 +58,15 @@ struct FloydWarshallInstance {
     return true;
   }
   static bool intersects(Interval, Interval, Interval) { return true; }
+  // Native row kernel: the j-range of Sigma_f at fixed (i, k), and the
+  // vectorized row update over it (y = row i, v = row k, u = x[i][k]).
+  static Interval sigma_j(std::uint64_t, std::uint64_t, Interval J) {
+    return J;
+  }
+  static void row_kernel(double* y, const double* v, double u, double /*w*/,
+                         std::size_t n) {
+    simd::fw_min_f64(y, v, u, n);
+  }
 };
 
 /// Gaussian elimination / LU decomposition without pivoting:
@@ -71,6 +82,16 @@ struct GaussianInstance {
   static bool intersects(Interval I, Interval J, Interval K) {
     // exists i in I, j in J, k in K with i > k, j > k.
     return I.hi > K.lo + 1 && J.hi > K.lo + 1;
+  }
+  static Interval sigma_j(std::uint64_t i, std::uint64_t k, Interval J) {
+    if (i <= k) return {J.lo, J.lo};
+    return {std::max(J.lo, k + 1), std::max(J.lo, J.hi)};
+  }
+  static void row_kernel(double* y, const double* v, double u, double w,
+                         std::size_t n) {
+    // f divides u/w once per row; the generic loop divides per element but
+    // with identical operands, so every element's bits match.
+    simd::gauss_update_f64(y, v, u / w, n);
   }
 };
 
@@ -90,6 +111,14 @@ struct MatMulEmbedInstance {
   }
   static bool intersects(Interval I, Interval J, Interval K) {
     return I.hi > half && J.hi > half && K.lo < half;
+  }
+  static Interval sigma_j(std::uint64_t i, std::uint64_t k, Interval J) {
+    if (i < half || k >= half) return {J.lo, J.lo};
+    return {std::max(J.lo, half), std::max(J.lo, J.hi)};
+  }
+  static void row_kernel(double* y, const double* v, double u, double /*w*/,
+                         std::size_t n) {
+    simd::axpy_f64(y, v, u, n);
   }
 };
 
@@ -129,11 +158,57 @@ inline std::uint64_t gep_space(GepFn fn, std::uint64_t m) {
   return 4 * m * m;
 }
 
+/// True when the instance exposes the native row-kernel hooks and the ref is
+/// plain double memory -- the only combination the simd leaves may take.
+template <class Inst, class Ref>
+inline constexpr bool gep_row_kernel_v =
+    sched::is_direct_ref_v<Ref> &&
+    std::is_same_v<typename Ref::value_type, double> &&
+    requires(double* y, const double* v, double u, double w, std::size_t n,
+             std::uint64_t i, std::uint64_t k, Interval J) {
+      Inst::row_kernel(y, v, u, w, n);
+      Inst::sigma_j(i, k, J);
+    };
+
 /// Sequential base case: the Figure-5 triple loop restricted to the tile
 /// I x J x K.  Equivalent to full recursion for instances satisfying the
 /// I-GEP correctness conditions.
 template <class Inst, class Ref>
 void gep_base(sched::MatView<Ref> x, Interval I, Interval J, Interval K) {
+  if constexpr (gep_row_kernel_v<Inst, Ref>) {
+    // Gated on vector_active(), not use_kernels(): the row kernels pay an
+    // out-of-line dispatch per (k, i) row, which only pays off when real
+    // lanes amortize it.  Scalar mode (== an OBLIV_SIMD=OFF build) keeps
+    // the generic triple loop -- results are bit-identical either way
+    // (same per-element arithmetic and order; goldened in
+    // test_simd_kernels.cpp), so this is purely a speed decision.
+    if (simd::vector_active()) {
+      for (std::uint64_t k = K.lo; k < K.hi; ++k) {
+        const double* v = x.row(k).raw();
+        for (std::uint64_t i = I.lo; i < I.hi; ++i) {
+          const Interval js = Inst::sigma_j(i, k, J);
+          if (js.lo >= js.hi) continue;
+          double* y = x.row(i).raw();
+          auto run = [&](std::uint64_t jlo, std::uint64_t jhi) {
+            if (jlo >= jhi) return;
+            Inst::row_kernel(y + jlo, v + jlo, x.load(i, k), x.load(k, k),
+                             jhi - jlo);
+          };
+          if (k >= js.lo && k < js.hi) {
+            // The j == k store rewrites x[i][k] = u (and x[k][k] = w when
+            // i == k), so split the row there and reload the scalars.
+            run(js.lo, k);
+            x.store(i, k, Inst::f(x.load(i, k), x.load(i, k), x.load(k, k),
+                                  x.load(k, k)));
+            run(k + 1, js.hi);
+          } else {
+            run(js.lo, js.hi);
+          }
+        }
+      }
+      return;
+    }
+  }
   for (std::uint64_t k = K.lo; k < K.hi; ++k) {
     for (std::uint64_t i = I.lo; i < I.hi; ++i) {
       for (std::uint64_t j = J.lo; j < J.hi; ++j) {
@@ -284,6 +359,21 @@ void matmul_rec(Exec& ex, sched::MatView<Ref> c, sched::MatView<Ref> a,
                 sched::MatView<Ref> b, std::uint64_t base_cutoff) {
   const std::uint64_t m = c.rows();
   if (m <= base_cutoff) {
+    if constexpr (sched::is_direct_ref_v<Ref> &&
+                  std::is_same_v<typename Ref::value_type, double>) {
+      // vector_active(), not use_kernels(): see gep_base -- the axpy rows
+      // only beat the inlined triple loop when lanes are real.
+      if (simd::vector_active()) {
+        // c is disjoint from a and b, so a(i,k) is loop-invariant per row.
+        for (std::uint64_t k = 0; k < m; ++k) {
+          const double* bk = b.row(k).raw();
+          for (std::uint64_t i = 0; i < m; ++i) {
+            simd::axpy_f64(c.row(i).raw(), bk, a.load(i, k), m);
+          }
+        }
+        return;
+      }
+    }
     for (std::uint64_t k = 0; k < m; ++k) {
       for (std::uint64_t i = 0; i < m; ++i) {
         for (std::uint64_t j = 0; j < m; ++j) {

@@ -13,10 +13,54 @@
 
 #include <cstdint>
 #include <functional>
+#include <type_traits>
 
 #include "sched/hints.hpp"
+#include "util/simd.hpp"
 
 namespace obliv::algo {
+
+/// Tag type for addition, in place of an opaque `a + b` lambda.  Scans and
+/// reductions recognize it (is_add_op_v) and replace their native leaf
+/// loops with the simd:: pair-sum / expand kernels; any other Op keeps the
+/// generic element loop.  Semantically identical to the lambda it replaces.
+template <class T>
+struct AddOp {
+  constexpr T operator()(const T& a, const T& b) const { return a + b; }
+};
+
+namespace detail {
+
+template <class Op>
+struct is_add_op : std::false_type {};
+template <class T>
+struct is_add_op<AddOp<T>> : std::true_type {};
+
+/// Native leaves may vectorize iff the ref is plain memory AND the op is
+/// the recognized addition tag AND the element type has a kernel.
+template <class Ref, class Op>
+inline constexpr bool scan_kernel_v =
+    sched::is_direct_ref_v<Ref> && is_add_op<Op>::value &&
+    (std::is_same_v<typename Ref::value_type, double> ||
+     std::is_same_v<typename Ref::value_type, std::uint64_t>);
+
+inline void pair_sum_kernel(const double* s, double* d, std::size_t n) {
+  simd::pair_sum_f64(s, d, n);
+}
+inline void pair_sum_kernel(const std::uint64_t* s, std::uint64_t* d,
+                            std::size_t n) {
+  simd::pair_sum_u64(s, d, n);
+}
+inline void scan_expand_kernel(const double* t, double* v, std::size_t lo,
+                               std::size_t hi) {
+  simd::scan_expand_f64(t, v, lo, hi);
+}
+inline void scan_expand_kernel(const std::uint64_t* t, std::uint64_t* v,
+                               std::size_t lo, std::size_t hi) {
+  simd::scan_expand_u64(t, v, lo, hi);
+}
+
+}  // namespace detail
 
 /// In-place inclusive scan of `v` under `op` (associative).
 /// `scratch` must have size >= v.size() / 2; pass a ref into a buffer
@@ -39,6 +83,13 @@ void mo_scan_inclusive(Exec& ex, Ref v, Ref scratch, Op op) {
   // so the collapsed B_1-block stream (hence every counter) is unchanged.
   ex.cgc_pfor(0, half, 2 * sizeof(T) / 8,
               [&](std::uint64_t lo, std::uint64_t hi) {
+                if constexpr (detail::scan_kernel_v<Ref, Op>) {
+                  if (simd::use_kernels()) {
+                    detail::pair_sum_kernel(v.raw() + 2 * lo,
+                                            scratch.raw() + lo, hi - lo);
+                    return;
+                  }
+                }
                 for (std::uint64_t i = lo; i < hi; ++i) {
                   const auto [a, b] = v.load2(2 * i);
                   scratch.store(i, op(a, b));
@@ -55,6 +106,17 @@ void mo_scan_inclusive(Exec& ex, Ref v, Ref scratch, Op op) {
   // catches it.  Only order-preserving merges are exact (DESIGN.md).
   ex.cgc_pfor(0, half, 2 * sizeof(T) / 8,
               [&](std::uint64_t lo, std::uint64_t hi) {
+                if constexpr (detail::scan_kernel_v<Ref, Op>) {
+                  if (simd::use_kernels()) {
+                    std::uint64_t i0 = lo;
+                    if (i0 == 0) {  // i = 0 writes only v[1] = t[0]
+                      v.store(1, scratch.load(0));
+                      i0 = 1;
+                    }
+                    detail::scan_expand_kernel(scratch.raw(), v.raw(), i0, hi);
+                    return;
+                  }
+                }
                 for (std::uint64_t i = lo; i < hi; ++i) {
                   if (i > 0) {
                     v.store(2 * i, op(scratch.load(i - 1), v.load(2 * i)));
@@ -76,11 +138,12 @@ void mo_scan(Exec& ex, Ref v, Op op) {
   mo_scan_inclusive(ex, v, scratch.ref(), op);
 }
 
-/// Inclusive prefix sum specialization.
+/// Inclusive prefix sum specialization (AddOp engages the native simd
+/// leaves; every other backend sees the same `a + b`).
 template <class Exec, class Ref>
 void mo_prefix_sum(Exec& ex, Ref v) {
   using T = typename Ref::value_type;
-  mo_scan(ex, v, [](const T& a, const T& b) { return a + b; });
+  mo_scan(ex, v, AddOp<T>{});
 }
 
 /// Parallel reduction under `op`; returns the total.  One CGC pass per
@@ -96,6 +159,13 @@ typename Ref::value_type mo_reduce(Exec& ex, Ref v, Op op) {
   const std::uint64_t half = n / 2;
   ex.cgc_pfor(0, half, 2 * sizeof(T) / 8,
               [&](std::uint64_t lo, std::uint64_t hi) {
+                if constexpr (detail::scan_kernel_v<Ref, Op>) {
+                  if (simd::use_kernels()) {
+                    detail::pair_sum_kernel(v.raw() + 2 * lo,
+                                            scratch.raw() + lo, hi - lo);
+                    return;
+                  }
+                }
                 for (std::uint64_t i = lo; i < hi; ++i) {
                   const auto [a, b] = v.load2(2 * i);
                   scratch.store(i, op(a, b));

@@ -30,7 +30,9 @@
 #include <vector>
 
 #include "algo/scan.hpp"
+#include "sched/hints.hpp"
 #include "util/bits.hpp"
+#include "util/simd.hpp"
 
 namespace obliv::algo {
 
@@ -38,6 +40,14 @@ namespace detail {
 
 constexpr std::uint64_t kSortBase = 64;
 constexpr std::uint64_t kSamplesPerChunk = 4;
+
+/// Native refs over trivially-copyable keys may take the partition-rank /
+/// bulk-copy leaves (binary searches on the already-sorted chunks replace
+/// the merge-scan; both produce identical counts and a stable scatter).
+template <class Ref>
+inline constexpr bool sort_kernel_v =
+    sched::is_direct_ref_v<Ref> &&
+    std::is_trivially_copyable_v<typename Ref::value_type>;
 
 /// Constant-size base case: load, sort locally, store.
 template <class Exec, class Ref>
@@ -118,6 +128,33 @@ void spms_sort(Exec& ex, Ref v) {
                 for (std::uint64_t z = lo; z < hi; ++z) counts.store(z, 0);
               });
   ex.cgc_pfor_each(0, k, c * W, [&](std::uint64_t i) {
+    if constexpr (detail::sort_kernel_v<Ref> &&
+                  sched::is_direct_ref_v<decltype(splitters)>) {
+      // Size floor: nbuckets lower_bounds only beat one linear merge-scan
+      // when buckets average at least a lane stride of elements.  In the
+      // balanced sqrt(n) geometry (nbuckets ~ chunk len) they do not, and
+      // the generic scan is the faster leaf.  The rule is size-based and
+      // mode-independent, so counts are identical either way.
+      if (simd::use_kernels() &&
+          chunk_len(i) >= nbuckets * simd::kMaxLaneWords) {
+        // Partition-rank scan: the chunk is sorted (round 1), so bucket b
+        // holds rank(splitter[b]) - rank(splitter[b-1]) elements, where
+        // rank is lower_bound -- the same `e < splitter` predicate the
+        // merge-scan below advances on.
+        const T* ch = v.raw() + chunk_lo(i);
+        const std::uint64_t len = chunk_len(i);
+        const T* sp = splitters.raw();
+        std::uint64_t prev = 0;
+        for (std::uint64_t b = 0; b + 1 < nbuckets; ++b) {
+          const std::uint64_t r = static_cast<std::uint64_t>(
+              std::lower_bound(ch + prev, ch + len, sp[b]) - ch);
+          counts.store(i * nbuckets + b, r - prev);
+          prev = r;
+        }
+        counts.store(i * nbuckets + (nbuckets - 1), len - prev);
+        return;
+      }
+    }
     std::uint64_t b = 0;
     std::uint64_t run = 0;
     T next_split = b + 1 < nbuckets ? splitters.load(b) : T{};
@@ -150,6 +187,37 @@ void spms_sort(Exec& ex, Ref v) {
   auto out_buf = ex.template make_buf<T>(n);
   auto out = out_buf.ref();
   ex.cgc_pfor_each(0, k, c * W, [&](std::uint64_t i) {
+    if constexpr (detail::sort_kernel_v<Ref> &&
+                  sched::is_direct_ref_v<decltype(splitters)> &&
+                  sched::is_direct_ref_v<decltype(out)>) {
+      // Same size floor as step C: bulk copies of ~1-element runs lose to
+      // the cursor loop; placement is identical either way.
+      if (simd::use_kernels() &&
+          chunk_len(i) >= nbuckets * simd::kMaxLaneWords) {
+        // Bulk scatter: each bucket's share of the sorted chunk is one
+        // contiguous run; move it with a single copy (stable, identical
+        // placement to the cursor loop below).
+        const T* ch = v.raw() + chunk_lo(i);
+        T* op = out.raw();
+        const std::uint64_t len = chunk_len(i);
+        const T* sp = splitters.raw();
+        std::uint64_t prev = 0;
+        for (std::uint64_t b = 0; b < nbuckets && prev < len; ++b) {
+          const std::uint64_t r =
+              b + 1 < nbuckets
+                  ? static_cast<std::uint64_t>(
+                        std::lower_bound(ch + prev, ch + len, sp[b]) - ch)
+                  : len;
+          if (r > prev) {
+            const std::uint64_t start =
+                flat.load(b * k + i) - counts.load(i * nbuckets + b);
+            simd::copy_elems(ch + prev, op + start, r - prev);
+            prev = r;
+          }
+        }
+        return;
+      }
+    }
     std::uint64_t b = 0;
     T next_split = b + 1 < nbuckets ? splitters.load(b) : T{};
     const std::uint64_t len = chunk_len(i);
@@ -228,6 +296,15 @@ void merge_into(Exec& ex, Ref a, Ref b, Ref out) {
     } else {
       out.store(o++, x);
       ++i;
+    }
+  }
+  if constexpr (sort_kernel_v<Ref>) {
+    if (simd::use_kernels()) {
+      // Bulk-drain the exhausted side's remainder.
+      if (i < na) simd::copy_elems(a.raw() + i, out.raw() + o, na - i);
+      if (j < nb) simd::copy_elems(b.raw() + j, out.raw() + o, nb - j);
+      (void)ex;
+      return;
     }
   }
   while (i < na) out.store(o++, a.load(i++));

@@ -15,9 +15,11 @@
 
 #include <cassert>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "sched/hints.hpp"
+#include "util/simd.hpp"
 
 namespace obliv::algo {
 
@@ -52,13 +54,40 @@ struct SparseMatrix {
 
 namespace detail {
 
+/// Native leaves may take the strided dot kernel: plain-memory refs over the
+/// SpmEntry / double layouts.  NOTE: the kernel's 4-accumulator reduction
+/// order differs from the serial loop below, so kernel results are
+/// bit-identical across kAuto/kScalar but not to the kGeneric path (tests
+/// compare spmdv across modes with a tolerance, not bitwise).
+template <class EntryRef, class VecRef>
+inline constexpr bool spmdv_kernel_v =
+    sched::is_direct_ref_v<EntryRef> && sched::is_direct_ref_v<VecRef> &&
+    std::is_same_v<typename EntryRef::value_type, SpmEntry> &&
+    std::is_same_v<typename VecRef::value_type, double>;
+
+static_assert(sizeof(SpmEntry) == 16, "strided dot assumes 2-word entries");
+
 template <class Exec, class EntryRef, class OffRef, class VecRef>
 void spmdv_rec(Exec& ex, EntryRef av, OffRef a0, VecRef x, VecRef y,
                std::uint64_t k1, std::uint64_t k2) {
   if (k1 == k2) {
     // Lines 1-3 of Figure 4: one dot product.
-    double acc = 0;
     const std::uint64_t lo = a0.load(k1), hi = a0.load(k1 + 1);
+    if constexpr (spmdv_kernel_v<EntryRef, VecRef>) {
+      // Size floor: rows shorter than two lane strides (separator-reordered
+      // grid rows average ~4 nonzeros) are cheaper in the inline serial
+      // loop than through the out-of-line 4-accumulator kernel.  The rule
+      // is size-based and mode-independent, so kAuto/kScalar stay
+      // bit-identical (short rows: serial order in both; long rows: the
+      // shared 4-accumulator order in both).
+      if (simd::use_kernels() && hi - lo >= 2 * simd::kMaxLaneWords) {
+        const SpmEntry* e = av.raw() + lo;
+        y.store(k1,
+                simd::dot_strided_f64(&e->col, &e->val, 2, x.raw(), hi - lo));
+        return;
+      }
+    }
+    double acc = 0;
     for (std::uint64_t t = lo; t < hi; ++t) {
       const SpmEntry e = av.load(t);
       acc += e.val * x.load(e.col);

@@ -14,13 +14,64 @@
 // cache misses are O(n^2/(q_i B_i) + B_i) given tall caches.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
+#include <complex>
 #include <cstdint>
+#include <type_traits>
 
+#include "sched/hints.hpp"
 #include "sched/views.hpp"
 #include "util/bits.hpp"
+#include "util/simd.hpp"
 
 namespace obliv::algo {
+
+namespace detail {
+
+/// Native leaf for the two Morton passes: indices are computed scalar into
+/// a small block, the element movement is one contiguous-store gather per
+/// block.  IndexFn maps a flat z to the source offset.
+template <class IndexFn>
+void gather_tile_f64(const double* src, double* dst, std::uint64_t lo,
+                     std::uint64_t hi, IndexFn&& index_of) {
+  constexpr std::uint64_t kBlk = 256;  // index staging fits in L1
+  std::uint64_t idx[kBlk];
+  for (std::uint64_t z0 = lo; z0 < hi; z0 += kBlk) {
+    const std::uint64_t cnt = std::min(kBlk, hi - z0);
+    for (std::uint64_t k = 0; k < cnt; ++k) idx[k] = index_of(z0 + k);
+    simd::gather_f64(src, idx, dst + z0, cnt);
+  }
+}
+
+template <class Ref>
+inline constexpr bool transpose_kernel_v =
+    sched::is_direct_ref_v<Ref> &&
+    (std::is_same_v<typename Ref::value_type, double> ||
+     std::is_same_v<typename Ref::value_type, std::complex<double>>);
+
+/// Type-dispatched tile gather: complex<double> elements move as two-word
+/// units (reinterpreting complex<double>* as double* is sanctioned by the
+/// standard's array-compatibility guarantee for std::complex).
+template <class T, class IndexFn>
+void gather_tile(const T* src, T* dst, std::uint64_t lo, std::uint64_t hi,
+                 IndexFn&& index_of) {
+  if constexpr (std::is_same_v<T, double>) {
+    gather_tile_f64(src, dst, lo, hi, index_of);
+  } else {
+    constexpr std::uint64_t kBlk = 256;
+    std::uint64_t idx[kBlk];
+    const double* s = reinterpret_cast<const double*>(src);
+    double* d = reinterpret_cast<double*>(dst);
+    for (std::uint64_t z0 = lo; z0 < hi; z0 += kBlk) {
+      const std::uint64_t cnt = std::min(kBlk, hi - z0);
+      for (std::uint64_t k = 0; k < cnt; ++k) idx[k] = index_of(z0 + k);
+      simd::gather_2f64(s, idx, d + 2 * z0, cnt);
+    }
+  }
+}
+
+}  // namespace detail
 
 /// MO-MT.  `a` is an n x n row-major input, `out` receives the transpose
 /// (row-major).  n must be a power of two (the bit-interleaving map requires
@@ -37,6 +88,15 @@ void mo_transpose(Exec& ex, Ref a, Ref out, std::uint64_t n) {
 
   // Step 1 [CGC]: gather A into bit-interleaved order.
   ex.cgc_pfor(0, n * n, W, [&](std::uint64_t lo, std::uint64_t hi) {
+    if constexpr (detail::transpose_kernel_v<Ref>) {
+      if (simd::use_kernels()) {
+        detail::gather_tile(a.raw(), I.raw(), lo, hi, [n](std::uint64_t z) {
+          const auto [i, j] = util::deinterleave_bits(z);
+          return i * n + j;
+        });
+        return;
+      }
+    }
     for (std::uint64_t z = lo; z < hi; ++z) {
       const auto [i, j] = util::deinterleave_bits(z);
       I.store(z, a.load(i * n + j));
@@ -45,6 +105,15 @@ void mo_transpose(Exec& ex, Ref a, Ref out, std::uint64_t n) {
 
   // Step 2 [CGC]: scatter out of bit-interleaved order, transposed.
   ex.cgc_pfor(0, n * n, W, [&](std::uint64_t lo, std::uint64_t hi) {
+    if constexpr (detail::transpose_kernel_v<Ref>) {
+      if (simd::use_kernels()) {
+        detail::gather_tile(I.raw(), out.raw(), lo, hi,
+                            [n](std::uint64_t z) {
+                              return util::interleave_bits(z % n, z / n);
+                            });
+        return;
+      }
+    }
     for (std::uint64_t z = lo; z < hi; ++z) {
       const std::uint64_t i = z / n, j = z % n;
       out.store(z, I.load(util::interleave_bits(j, i)));
@@ -67,12 +136,37 @@ void mo_transpose_inplace(Exec& ex, sched::MatView<Ref> m) {
   auto I = ibuf.ref();
 
   ex.cgc_pfor(0, n * n, W, [&](std::uint64_t lo, std::uint64_t hi) {
+    if constexpr (detail::transpose_kernel_v<Ref>) {
+      if (simd::use_kernels()) {
+        const std::uint64_t ld = m.ld();
+        detail::gather_tile(m.row(0).raw(), I.raw(), lo, hi,
+                            [ld](std::uint64_t z) {
+                              const auto [i, j] = util::deinterleave_bits(z);
+                              return i * ld + j;
+                            });
+        return;
+      }
+    }
     for (std::uint64_t z = lo; z < hi; ++z) {
       const auto [i, j] = util::deinterleave_bits(z);
       I.store(z, m.load(i, j));
     }
   });
   ex.cgc_pfor(0, n * n, W, [&](std::uint64_t lo, std::uint64_t hi) {
+    if constexpr (detail::transpose_kernel_v<Ref>) {
+      if (simd::use_kernels()) {
+        // Inverse direction: the *destination* walks (i, j) row-major while
+        // the source is Morton-ordered, so stores are only contiguous when
+        // the view itself is (ld == n, which mo_fft's full views are).
+        if (m.ld() == n) {
+          detail::gather_tile(I.raw(), m.row(0).raw(), lo, hi,
+                              [n](std::uint64_t z) {
+                                return util::interleave_bits(z % n, z / n);
+                              });
+          return;
+        }
+      }
+    }
     for (std::uint64_t z = lo; z < hi; ++z) {
       const std::uint64_t i = z / n, j = z % n;
       m.store(i, j, I.load(util::interleave_bits(j, i)));

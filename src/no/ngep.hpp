@@ -26,6 +26,7 @@
 
 #include "algo/gep.hpp"
 #include "no/machine.hpp"
+#include "util/simd.hpp"
 
 namespace obliv::no {
 
@@ -91,10 +92,53 @@ inline const std::vector<Round>& schedule_dstar() {
   return s;
 }
 
+/// Instances exposing the native row-kernel hooks (algo/gep.hpp) vectorize
+/// the host-side base case too; message/compute accounting is outside the
+/// loop and unchanged.
+template <class Inst>
+inline constexpr bool ngep_row_kernel_v =
+    std::is_same_v<typename Inst::value_type, double> &&
+    requires(double* y, const double* v, double u, double w, std::size_t n,
+             std::uint64_t i, std::uint64_t k, Interval J) {
+      Inst::row_kernel(y, v, u, w, n);
+      Inst::sigma_j(i, k, J);
+    };
+
 /// Host-side tile base case (Figure 5 restricted to I x J x K).
 template <class Inst>
 void ngep_base(std::vector<double>& x, std::uint64_t n, Interval I,
                Interval J, Interval K) {
+  if constexpr (ngep_row_kernel_v<Inst>) {
+    // vector_active(), not use_kernels(): see algo::detail::gep_base -- the
+    // per-row dispatch only pays for itself when lanes are real; scalar
+    // mode keeps the (bit-identical) generic triple loop.
+    if (simd::vector_active()) {
+      for (std::uint64_t k = K.lo; k < K.hi; ++k) {
+        const double* v = x.data() + k * n;
+        for (std::uint64_t i = I.lo; i < I.hi; ++i) {
+          const Interval js = Inst::sigma_j(i, k, J);
+          if (js.lo >= js.hi) continue;
+          double* y = x.data() + i * n;
+          auto run = [&](std::uint64_t jlo, std::uint64_t jhi) {
+            if (jlo >= jhi) return;
+            Inst::row_kernel(y + jlo, v + jlo, x[i * n + k], x[k * n + k],
+                             jhi - jlo);
+          };
+          if (k >= js.lo && k < js.hi) {
+            // The j == k store rewrites x[i][k] (and x[k][k] when i == k);
+            // split there and reload the scalars.
+            run(js.lo, k);
+            x[i * n + k] = Inst::f(x[i * n + k], x[i * n + k], x[k * n + k],
+                                   x[k * n + k]);
+            run(k + 1, js.hi);
+          } else {
+            run(js.lo, js.hi);
+          }
+        }
+      }
+      return;
+    }
+  }
   for (std::uint64_t k = K.lo; k < K.hi; ++k) {
     for (std::uint64_t i = I.lo; i < I.hi; ++i) {
       for (std::uint64_t j = J.lo; j < J.hi; ++j) {

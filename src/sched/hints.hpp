@@ -19,8 +19,25 @@
 
 #include <cstdint>
 #include <functional>
+#include <type_traits>
 
 namespace obliv::sched {
+
+/// Marker trait: true only for Ref types that are plain views of host
+/// memory, i.e. where bypassing load()/store() with a raw-pointer kernel
+/// changes nothing observable.  NatRef opts in with a
+/// `static constexpr bool kDirectMemory = true` member.  SimRef and NoRef
+/// also expose raw() (for test plumbing), but every element access there
+/// *is* the model -- cache-miss counters and D-BSP message accounting --
+/// so they must never match.  Duck-typing on raw() would be a correctness
+/// bug, hence the explicit opt-in.
+template <class Ref, class = void>
+struct is_direct_ref : std::false_type {};
+template <class Ref>
+struct is_direct_ref<Ref, std::enable_if_t<Ref::kDirectMemory>>
+    : std::true_type {};
+template <class Ref>
+inline constexpr bool is_direct_ref_v = is_direct_ref<Ref>::value;
 
 enum class Hint : std::uint8_t {
   kCgc,      ///< coarse-grained contiguous

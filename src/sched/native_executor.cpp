@@ -10,7 +10,40 @@
 
 #include "util/bits.hpp"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace obliv::sched {
+
+bool pin_current_thread(unsigned core) noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
+  CPU_SET(core % ncpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
+}
+
+bool pinning_requested() noexcept {
+  const char* env = std::getenv("OBLIV_PIN");
+  if (env == nullptr || *env == '\0') return false;
+  return std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0;
+}
+
+namespace {
+constexpr bool kAffinitySupported =
+#if defined(__linux__)
+    true;
+#else
+    false;
+#endif
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // WorkStealingPool
@@ -40,7 +73,8 @@ std::uint64_t splitmix64(std::uint64_t& s) {
 
 WorkStealingPool::WorkStealingPool(unsigned threads)
     : nworkers_(threads == 0 ? 1 : threads),
-      ncores_(std::max(1u, std::thread::hardware_concurrency())) {
+      ncores_(std::max(1u, std::thread::hardware_concurrency())),
+      pinned_(pinning_requested() && kAffinitySupported) {
   workers_.reserve(nworkers_);
   for (unsigned i = 0; i < nworkers_; ++i) {
     fault::maybe_fail_alloc(fault::InjectSite::kAllocSetup);
@@ -279,6 +313,10 @@ void WorkStealingPool::join(Task* t) {
 }
 
 void WorkStealingPool::worker_main(unsigned id) {
+  // Round-robin core pinning for the scaling protocol: worker i on core
+  // i % ncores, the same layout bench_wallclock pins the caller (worker 0)
+  // to.  Best-effort -- a failed syscall leaves the thread floating.
+  if (pinned_) pin_current_thread(id);
   tls_binding = TlsBinding{this, id};
   auto& deque = workers_[id]->deque;
   for (;;) {
@@ -492,8 +530,12 @@ void range_run(WorkStealingPool& pool, const RangeBody& body, std::uint64_t lo,
       return;
     }
     if (hi - lo >= 2 * floor && pool.local_deque_empty()) {
-      // A thief (or an idle worker) drained us: expose the upper half.
-      const std::uint64_t mid = lo + (hi - lo) / 2;
+      // A thief (or an idle worker) drained us: expose the upper half.  The
+      // split point rounds down to a vector-stride multiple (relative to
+      // lo) so stolen halves start lane-aligned for the simd:: kernels;
+      // floor >= kMaxLaneWords guarantees the rounded half is non-empty.
+      const std::uint64_t mid =
+          lo + ((hi - lo) / 2 & ~std::uint64_t{simd::kMaxLaneWords - 1});
       RangeTask upper(pool, body, mid, hi, grain, floor);
       if constexpr (obs::kTracingCompiledIn) {
         if (obs::Histogram* h = pool.fork_grain_hist()) h->record(hi - mid);
@@ -521,7 +563,10 @@ std::uint64_t split_floor(std::uint64_t total, std::uint64_t grain,
                           unsigned threads) {
   const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
   const unsigned effective = std::min(threads, cores);
-  return std::max<std::uint64_t>(grain, total / (8ull * effective));
+  // Never expose a half narrower than one vector stride: a leaf below
+  // simd::kMaxLaneWords iterations is pure tail for the SIMD kernels.
+  return std::max<std::uint64_t>(std::max<std::uint64_t>(grain, simd::kMaxLaneWords),
+                                 total / (8ull * effective));
 }
 
 }  // namespace
@@ -577,8 +622,11 @@ void NativeExecutor::cgc_pfor(
   const std::uint64_t t = hi - lo;
   const std::uint64_t wpi = std::max<std::uint64_t>(1, words_per_iter);
   // Keep segments at or above the grain so fork overhead stays negligible --
-  // the native analogue of the B_1 lower bound on CGC segment length.
-  const std::uint64_t min_iters = std::max<std::uint64_t>(1, grain_ / wpi);
+  // the native analogue of the B_1 lower bound on CGC segment length.  The
+  // lane clamp keeps every leaf at least one vector stride wide so the
+  // simd:: kernels never degenerate to all-tail chunks.
+  const std::uint64_t min_iters = std::max<std::uint64_t>(
+      simd::kMaxLaneWords, grain_ / wpi);
   if (threads() == 1 || t <= min_iters) {
     body(lo, hi);  // single chunk: no queue round-trip, no task storage
     return;

@@ -42,8 +42,18 @@
 #include "obs/trace.hpp"
 #include "sched/hints.hpp"
 #include "sched/ws_deque.hpp"
+#include "util/simd.hpp"
 
 namespace obliv::sched {
+
+/// Best-effort: pin the calling thread to core `core % hardware cores`.
+/// Returns false when the platform has no affinity API or the call fails.
+bool pin_current_thread(unsigned core) noexcept;
+
+/// True when the OBLIV_PIN environment variable asks for worker pinning
+/// (any value except "0"/"off").  Off by default: pinning is a measurement
+/// aid, not a throughput win, and it is rude in shared containers.
+bool pinning_requested() noexcept;
 
 template <class T>
 class NatRef;
@@ -106,6 +116,12 @@ class WorkStealingPool {
   WorkStealingPool& operator=(const WorkStealingPool&) = delete;
 
   unsigned threads() const { return nworkers_; }
+
+  /// True when the spawned workers pin themselves to cores (OBLIV_PIN set
+  /// on a platform with an affinity API).  The calling thread -- worker 0
+  /// -- is never touched; measurement harnesses pin it themselves via
+  /// pin_current_thread() so the pool cannot hijack a caller's affinity.
+  bool pinned() const { return pinned_; }
 
   /// Runs `root` on the calling thread, registering it as worker 0 if it is
   /// not already a pool worker.  Concurrent external callers serialize.
@@ -210,6 +226,7 @@ class WorkStealingPool {
   obs::Histogram* steal_hist_ = nullptr;
   obs::Histogram* grain_hist_ = nullptr;
   std::atomic<fault::FaultPlan*> fault_plan_{nullptr};
+  bool pinned_ = false;
 };
 
 /// The original shared-queue fork-join pool (single mutex + condition
@@ -283,6 +300,10 @@ class NativeExecutor {
   /// True when scheduling on the work-stealing backend.
   bool work_stealing() const { return ws_ != nullptr; }
 
+  /// True when the pool's spawned workers are core-pinned (OBLIV_PIN; see
+  /// WorkStealingPool::pinned).  Always false on the shared-queue baseline.
+  bool pinned() const { return ws_ ? ws_->pinned() : false; }
+
   template <class T>
   NatBuf<T> make_buf(std::size_t n);
 
@@ -347,6 +368,10 @@ class NatRef {
  public:
   using value_type = T;
 
+  /// Opts into sched::is_direct_ref_v: load/store here ARE plain memory
+  /// access, so algorithm leaves may replace them with simd:: kernels.
+  static constexpr bool kDirectMemory = true;
+
   NatRef() = default;
   NatRef(T* data, std::size_t n) : data_(data), n_(n) {}
 
@@ -357,12 +382,20 @@ class NatRef {
     f(data_[i]);
   }
 
-  // Batched counterparts of SimRef's run accessors (plain copies here).
+  // Batched counterparts of SimRef's run accessors (bulk copies here).
   void load_run(std::size_t i, std::size_t len, T* out) const {
-    std::copy(data_ + i, data_ + i + len, out);
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      simd::copy_elems(data_ + i, out, len);
+    } else {
+      std::copy(data_ + i, data_ + i + len, out);
+    }
   }
   void store_run(std::size_t i, std::size_t len, const T* src) const {
-    std::copy(src, src + len, data_ + i);
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      simd::copy_elems(src, data_ + i, len);
+    } else {
+      std::copy(src, src + len, data_ + i);
+    }
   }
   std::pair<T, T> load2(std::size_t i) const { return {data_[i], data_[i + 1]}; }
 
@@ -399,10 +432,14 @@ NatBuf<T> NativeExecutor::make_buf(std::size_t n) {
   return NatBuf<T>(n);
 }
 
-/// Native counterpart of SimExecutor::copy: a plain element-wise copy.
+/// Native counterpart of SimExecutor::copy: a bulk memory copy.
 template <class T>
 void NativeExecutor::copy(NatRef<T> dst, NatRef<T> src) {
-  std::copy(src.raw(), src.raw() + src.size(), dst.raw());
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    simd::copy_elems(src.raw(), dst.raw(), src.size());
+  } else {
+    std::copy(src.raw(), src.raw() + src.size(), dst.raw());
+  }
 }
 
 }  // namespace obliv::sched

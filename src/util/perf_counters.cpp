@@ -42,6 +42,10 @@ int open_event(PerfEvent ev) {
       attr.type = PERF_TYPE_HARDWARE;
       attr.config = PERF_COUNT_HW_INSTRUCTIONS;
       break;
+    case PerfEvent::kCycles:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_CPU_CYCLES;
+      break;
   }
   return static_cast<int>(
       syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));

@@ -22,6 +22,7 @@ enum class PerfEvent : std::uint8_t {
   kCacheReferences,  // PERF_COUNT_HW_CACHE_REFERENCES
   kL1DReadMisses,    // L1-dcache read misses
   kInstructions,     // retired instructions
+  kCycles,           // CPU cycles (with kInstructions gives IPC)
 };
 
 /// A group of hardware counters measured over a code region.

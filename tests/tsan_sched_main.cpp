@@ -30,6 +30,8 @@
 #include "fault/fault.hpp"
 #include "sched/native_executor.hpp"
 #include "sched/ws_deque.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -194,6 +196,120 @@ void chaos_storm() {
   check(plan.decisions() > 0, "chaos_storm: plan was consulted");
 }
 
+// Execute every SIMD kernel (vector and scalar paths) over exact-size
+// heap buffers with unaligned starts and odd tails.  Under ASan a lane
+// overread past n trips immediately; under UBSan any misaligned vector
+// access or strict-aliasing violation does; the parity memcmp keeps the
+// sweep honest (UBSan alone would pass on wrong-but-defined code).  This
+// TU is compiled without -ffp-contract=off, so parity is checked between
+// the two kernel TUs only -- both carry the flag (see src/CMakeLists.txt).
+void simd_kernel_sweep() {
+  namespace simd = obliv::simd;
+  obliv::util::Xoshiro256 g(7);
+  auto rd = [&] { return static_cast<double>(g() >> 11) * 0x1p-52 - 1.0; };
+  auto eq = [](const void* a, const void* b, std::size_t bytes) {
+    return bytes == 0 || std::memcmp(a, b, bytes) == 0;
+  };
+  bool parity = true;
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                        std::size_t{4}, std::size_t{5}, std::size_t{8},
+                        std::size_t{13}, std::size_t{67}}) {
+    for (std::size_t off : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+      // pair_sum + scan_expand (f64 / u64)
+      std::vector<double> ps(off + 2 * n), pd1(off + n), pd2(off + n);
+      for (auto& x : ps) x = rd();
+      simd::scalar::pair_sum_f64(ps.data() + off, pd1.data() + off, n);
+      simd::vec::pair_sum_f64(ps.data() + off, pd2.data() + off, n);
+      parity &= eq(pd1.data(), pd2.data(), pd1.size() * 8);
+      std::vector<std::uint64_t> us(off + 2 * n), ud1(off + n), ud2(off + n);
+      for (auto& x : us) x = g();
+      simd::scalar::pair_sum_u64(us.data() + off, ud1.data() + off, n);
+      simd::vec::pair_sum_u64(us.data() + off, ud2.data() + off, n);
+      parity &= eq(ud1.data(), ud2.data(), ud1.size() * 8);
+      if (n >= 1) {
+        std::vector<double> t(n), v1(2 * n), v2(2 * n);
+        for (auto& x : t) x = rd();
+        for (std::size_t i = 0; i < 2 * n; ++i) v1[i] = v2[i] = rd();
+        simd::scalar::scan_expand_f64(t.data(), v1.data(), 1, n);
+        simd::vec::scan_expand_f64(t.data(), v2.data(), 1, n);
+        parity &= eq(v1.data(), v2.data(), v1.size() * 8);
+        std::vector<std::uint64_t> tu(n), w1(2 * n), w2(2 * n);
+        for (auto& x : tu) x = g();
+        for (std::size_t i = 0; i < 2 * n; ++i) w1[i] = w2[i] = g();
+        simd::scalar::scan_expand_u64(tu.data(), w1.data(), 1, n);
+        simd::vec::scan_expand_u64(tu.data(), w2.data(), 1, n);
+        parity &= eq(w1.data(), w2.data(), w1.size() * 8);
+      }
+      // row updates (fw_min / gauss / axpy) + butterfly over the same shapes
+      std::vector<double> y1(off + n), y2(off + n), row(off + n);
+      for (std::size_t i = 0; i < off + n; ++i) {
+        y1[i] = y2[i] = rd();
+        row[i] = rd();
+      }
+      const double u = rd();
+      simd::scalar::fw_min_f64(y1.data() + off, row.data() + off, u, n);
+      simd::vec::fw_min_f64(y2.data() + off, row.data() + off, u, n);
+      parity &= eq(y1.data(), y2.data(), y1.size() * 8);
+      simd::scalar::gauss_update_f64(y1.data() + off, row.data() + off, u, n);
+      simd::vec::gauss_update_f64(y2.data() + off, row.data() + off, u, n);
+      parity &= eq(y1.data(), y2.data(), y1.size() * 8);
+      simd::scalar::axpy_f64(y1.data() + off, row.data() + off, u, n);
+      simd::vec::axpy_f64(y2.data() + off, row.data() + off, u, n);
+      parity &= eq(y1.data(), y2.data(), y1.size() * 8);
+      std::vector<double> ra1(n), ia1(n), rb1(n), ib1(n), wre(n), wim(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ra1[i] = rd(), ia1[i] = rd(), rb1[i] = rd(), ib1[i] = rd();
+        wre[i] = rd(), wim[i] = rd();
+      }
+      auto ra2 = ra1, ia2 = ia1, rb2 = rb1, ib2 = ib1;
+      simd::scalar::butterfly_f64(ra1.data(), ia1.data(), rb1.data(),
+                                  ib1.data(), wre.data(), wim.data(), n);
+      simd::vec::butterfly_f64(ra2.data(), ia2.data(), rb2.data(), ib2.data(),
+                               wre.data(), wim.data(), n);
+      parity &= eq(ra1.data(), ra2.data(), n * 8) &&
+                eq(ib1.data(), ib2.data(), n * 8);
+      // gathers + strided dot (stride 2 = interleaved AoS contract)
+      const std::size_t bn = n ? n : 1;
+      std::vector<double> base(2 * bn), g1(n), g2(n), h1(2 * n), h2(2 * n);
+      for (auto& x : base) x = rd();
+      std::vector<std::uint64_t> idx(n);
+      for (auto& x : idx) x = g() % bn;
+      simd::scalar::gather_f64(base.data(), idx.data(), g1.data(), n);
+      simd::vec::gather_f64(base.data(), idx.data(), g2.data(), n);
+      parity &= eq(g1.data(), g2.data(), n * 8);
+      simd::scalar::gather_2f64(base.data(), idx.data(), h1.data(), n);
+      simd::vec::gather_2f64(base.data(), idx.data(), h2.data(), n);
+      parity &= eq(h1.data(), h2.data(), 2 * n * 8);
+      struct Entry {
+        std::uint64_t col;
+        double val;
+      };
+      std::vector<Entry> ent(bn);
+      for (auto& e : ent) e = {g() % bn, rd()};
+      const double d1 = simd::scalar::dot_strided_f64(&ent[0].col, &ent[0].val,
+                                                      2, base.data(), n);
+      const double d2 =
+          simd::vec::dot_strided_f64(&ent[0].col, &ent[0].val, 2, base.data(), n);
+      parity &= eq(&d1, &d2, 8);
+      // copy_bytes with a deliberately odd byte count
+      std::vector<unsigned char> cs(off + 3 * n + 1), cd1(off + 3 * n + 1),
+          cd2(off + 3 * n + 1);
+      for (auto& x : cs) x = static_cast<unsigned char>(g());
+      simd::scalar::copy_bytes(cs.data() + off, cd1.data() + off, 3 * n + 1);
+      simd::vec::copy_bytes(cs.data() + off, cd2.data() + off, 3 * n + 1);
+      parity &= eq(cd1.data(), cd2.data(), cd1.size());
+    }
+  }
+  for (unsigned m : {1u, 2u, 4u, 8u}) {
+    std::vector<double> re(m), im(m), r1(m), i1(m), r2(m), i2(m);
+    for (unsigned i = 0; i < m; ++i) re[i] = rd(), im[i] = rd();
+    simd::scalar::dft_pow2_f64(re.data(), im.data(), r1.data(), i1.data(), m);
+    simd::vec::dft_pow2_f64(re.data(), im.data(), r2.data(), i2.data(), m);
+    parity &= eq(r1.data(), r2.data(), m * 8) && eq(i1.data(), i2.data(), m * 8);
+  }
+  check(parity, "simd_kernel_sweep: vec/scalar parity");
+}
+
 }  // namespace
 
 int main() {
@@ -203,6 +319,7 @@ int main() {
   destroy_while_sleeping();
   failed_setup_teardown();
   chaos_storm();
+  simd_kernel_sweep();
   if (failures == 0) std::printf("obliv_sched_tsan: all scenarios passed\n");
   return failures == 0 ? 0 : 1;
 }

@@ -1,0 +1,52 @@
+# Smoke for the OBLIV_SIMD=OFF configuration: configure a nested build with
+# the SIMD layer compiled out, build three examples spanning the kernelized
+# families (scan/sort, GEP, FFT), and run them -- examples self-check and
+# return non-zero on failure, so an OFF build that mis-dispatches or fails
+# to compile surfaces here rather than on a user's non-vector host.
+#
+# The nested build directory persists between ctest runs, so after the
+# first (slow, full-library) build this is an incremental no-op build plus
+# three example runs.
+#
+# Invoked by ctest:
+#   cmake -DOBLIV_SOURCE=<repo> -DOBLIV_NESTED_DIR=<dir> [-DOBLIV_CXX=<cxx>]
+#         -P obliv_simd_off_smoke.cmake
+if(NOT DEFINED OBLIV_SOURCE OR NOT DEFINED OBLIV_NESTED_DIR)
+  message(FATAL_ERROR "pass -DOBLIV_SOURCE=<repo> -DOBLIV_NESTED_DIR=<dir>")
+endif()
+
+set(configure_args
+  -S "${OBLIV_SOURCE}" -B "${OBLIV_NESTED_DIR}"
+  -DOBLIV_SIMD=OFF -DCMAKE_BUILD_TYPE=RelWithDebInfo)
+if(DEFINED OBLIV_CXX)
+  list(APPEND configure_args "-DCMAKE_CXX_COMPILER=${OBLIV_CXX}")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" ${configure_args}
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "OBLIV_SIMD=OFF configure failed (rc=${rc}):\n${out}\n${err}")
+endif()
+
+set(targets example_quickstart example_apsp_roadgrid example_spectral_filter)
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" --build "${OBLIV_NESTED_DIR}"
+          --target ${targets} -j
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "OBLIV_SIMD=OFF build failed (rc=${rc}):\n${out}\n${err}")
+endif()
+
+foreach(target ${targets})
+  execute_process(
+    COMMAND "${OBLIV_NESTED_DIR}/examples/${target}"
+    WORKING_DIRECTORY "${OBLIV_NESTED_DIR}"
+    OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "${target} failed under OBLIV_SIMD=OFF (rc=${rc}):\n${out}\n${err}")
+  endif()
+endforeach()
+
+message(STATUS "OBLIV_SIMD=OFF smoke ok: ${targets}")
