@@ -1,0 +1,440 @@
+// Serving-layer benchmark: open-loop latency under load + the serving
+// overhead guardrail.
+//
+// Default mode drives obliv::serve::Server with an open-loop traffic
+// generator: job arrival times are fixed in advance (t_i = i / QPS,
+// submitted by a clock, never by completions), so when the server falls
+// behind, queueing delay shows up in the measured latency instead of
+// silently throttling the offered load -- the standard way to expose tail
+// latency that closed-loop generators hide.  Job sizes are heavy-tailed
+// (bounded Pareto), families mixed, everything seeded.  Per-QPS-point
+// results (p50/p99/p999 latency, goodput) land in BENCH_serve.json, plus
+// one record for the measured single-job serving overhead, via the shared
+// bench::write_json_env_header() preamble.
+//
+// `--serve-off-check` is the CI guardrail: serving a single job through
+// submit/admission/fork/complete must cost <= 5% over invoking the same
+// algorithm directly on a NativeExecutor.  Same paired-ratio statistics as
+// bench_wallclock's --fault-off-check: per repetition the direct / direct
+// / served cells run back-to-back with alternating order, ratios aggregate
+// by median so host drift divides out, A/A measures the residual pairing
+// noise, gate overhead <= max(5%, A/A + 1%), one confirming re-measure
+// before failing.  `--smoke` measures and prints but does not gate.
+//
+// On a 1-core container the numbers show serving overhead and queueing,
+// not parallel speedup; BENCH_serve.json records hardware_concurrency so
+// rows from different hosts are never compared as like-for-like.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "algo/fft.hpp"
+#include "algo/scan.hpp"
+#include "algo/sort.hpp"
+#include "algo/transpose.hpp"
+#include "common.hpp"
+#include "obs/trace.hpp"
+#include "sched/native_executor.hpp"
+#include "serve/serve.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace obliv {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using sched::NatRef;
+
+template <class T>
+NatRef<T> ref_of(std::vector<T>& v) {
+  return NatRef<T>(v.data(), v.size());
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_serve.json
+// ---------------------------------------------------------------------------
+
+struct ServeRecord {
+  std::string bench;      ///< "serve:openloop" or "serve:off_check"
+  unsigned threads = 0;
+  double qps = 0;         ///< offered load (0 for the off_check row)
+  std::uint64_t jobs = 0;
+  std::uint64_t completed_ok = 0;
+  std::uint64_t rejected = 0;
+  double p50_ms = 0, p99_ms = 0, p999_ms = 0;
+  double goodput_jps = 0;  ///< completed_ok / wall seconds
+  double overhead_pct = 0; ///< off_check only: served vs direct
+  double noise_pct = 0;    ///< off_check only: A/A pairing noise
+};
+
+class ServeRecorder {
+ public:
+  explicit ServeRecorder(std::string path) : path_(std::move(path)) {}
+
+  void add(ServeRecord r) { records_.push_back(std::move(r)); }
+
+  bool write() const {
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << "warning: cannot write " << path_ << "\n";
+      return false;
+    }
+    bench::write_json_env_header(out);
+    out << "  \"records\": [\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const ServeRecord& r = records_[i];
+      out << "    {\"bench\": \"" << r.bench
+          << "\", \"threads\": " << r.threads
+          << ", \"qps\": " << util::Table::fmt(r.qps, "%.0f")
+          << ", \"jobs\": " << r.jobs
+          << ", \"completed_ok\": " << r.completed_ok
+          << ", \"rejected\": " << r.rejected
+          << ", \"p50_ms\": " << util::Table::fmt(r.p50_ms, "%.3f")
+          << ", \"p99_ms\": " << util::Table::fmt(r.p99_ms, "%.3f")
+          << ", \"p999_ms\": " << util::Table::fmt(r.p999_ms, "%.3f")
+          << ", \"goodput_jps\": " << util::Table::fmt(r.goodput_jps, "%.1f")
+          << ", \"overhead_pct\": " << util::Table::fmt(r.overhead_pct, "%.2f")
+          << ", \"noise_pct\": " << util::Table::fmt(r.noise_pct, "%.2f")
+          << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << path_ << " (" << records_.size()
+              << " records, git_rev=" << bench::git_rev() << ")\n";
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::vector<ServeRecord> records_;
+};
+
+// ---------------------------------------------------------------------------
+// Open-loop traffic generation
+// ---------------------------------------------------------------------------
+
+/// One generated job: owned buffers + its typed request.  Buffers are
+/// allocated and filled before the timed schedule starts, so generation
+/// cost never pollutes the latency measurement.
+struct GenJob {
+  serve::Family family = serve::Family::kSort;
+  std::vector<std::int64_t> i64;
+  std::vector<std::uint64_t> u64;
+  std::vector<algo::cplx> cx;
+  std::vector<double> t_in, t_out;
+  std::uint64_t side = 0;
+  serve::JobHandle handle;
+
+  serve::Request request() {
+    switch (family) {
+      case serve::Family::kScan: return serve::ScanRequest{ref_of(i64)};
+      case serve::Family::kSort: return serve::SortRequest{ref_of(u64)};
+      case serve::Family::kFft: return serve::FftRequest{ref_of(cx)};
+      default:
+        return serve::TransposeRequest{ref_of(t_in), ref_of(t_out), side};
+    }
+  }
+};
+
+/// Bounded Pareto sample in [lo, hi] (alpha ~ 1.3: most jobs small, a
+/// heavy tail of large ones -- the canonical serving size distribution).
+std::uint64_t pareto_size(util::Xoshiro256& rng, std::uint64_t lo,
+                          std::uint64_t hi) {
+  const double alpha = 1.3;
+  const double u = std::max(rng.uniform(), 1e-12);
+  const double v = double(lo) / std::pow(u, 1.0 / alpha);
+  return std::min<std::uint64_t>(hi, std::max<std::uint64_t>(
+                                         lo, std::uint64_t(v)));
+}
+
+GenJob generate_job(util::Xoshiro256& rng) {
+  GenJob j;
+  const std::uint64_t pick = rng.below(100);
+  if (pick < 40) {  // 40% sort
+    j.family = serve::Family::kSort;
+    j.u64.resize(pareto_size(rng, 256, 16384));
+    for (auto& x : j.u64) x = rng();
+  } else if (pick < 70) {  // 30% scan
+    j.family = serve::Family::kScan;
+    j.i64.resize(pareto_size(rng, 512, 32768));
+    for (auto& x : j.i64) x = std::int64_t(rng.below(1000)) - 500;
+  } else if (pick < 85) {  // 15% FFT, power-of-two sizes
+    j.family = serve::Family::kFft;
+    j.cx.resize(std::uint64_t(1) << (8 + rng.below(5)));  // 256..4096
+    for (auto& x : j.cx) x = algo::cplx(rng.uniform() - 0.5, rng.uniform());
+  } else {  // 15% transpose, power-of-two sides
+    j.family = serve::Family::kTranspose;
+    j.side = std::uint64_t(1) << (3 + rng.below(4));  // 8..64
+    j.t_in.resize(j.side * j.side);
+    for (auto& x : j.t_in) x = rng.uniform();
+    j.t_out.assign(j.side * j.side, 0.0);
+  }
+  return j;
+}
+
+double pct_ms(std::vector<double>& lat_ns, double p) {
+  if (lat_ns.empty()) return 0;
+  std::sort(lat_ns.begin(), lat_ns.end());
+  const std::size_t idx = std::min(
+      lat_ns.size() - 1,
+      std::size_t(std::ceil(p / 100.0 * double(lat_ns.size())) - 1));
+  return lat_ns[idx] / 1e6;
+}
+
+/// One open-loop point: `jobs` requests offered at `qps`, latencies from
+/// *scheduled* submit time to observed completion.  Completions are
+/// observed by a collector thread waiting handles in submit order; with
+/// FIFO head-only admission jobs complete nearly in order, so the
+/// observation error is bounded by one job's service time.
+ServeRecord run_open_loop(unsigned threads, double qps, std::size_t jobs,
+                          std::uint64_t seed, obs::Tracer* tracer = nullptr) {
+  util::Xoshiro256 rng(seed);
+  std::vector<GenJob> gen;
+  gen.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) gen.push_back(generate_job(rng));
+
+  serve::ServerOptions o;
+  o.threads = threads;
+  o.queue_capacity = jobs;  // rejections would hide queueing in the tail
+  serve::Server srv(o);
+  if (tracer != nullptr) srv.set_tracer(tracer);
+
+  std::vector<double> lat_ns(jobs, 0.0);
+  std::vector<Clock::time_point> sched(jobs);
+  const auto t0 = Clock::now() + std::chrono::milliseconds(5);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    sched[i] = t0 + std::chrono::nanoseconds(
+                        std::uint64_t(double(i) * 1e9 / qps));
+  }
+
+  // Collector: timestamps completions in submit order, concurrently with
+  // the submit loop (waiting at the end would misread early completions).
+  // `submitted` is the publish point for gen[i].handle.
+  std::atomic<std::size_t> submitted{0};
+  std::thread collector([&] {
+    for (std::size_t i = 0; i < jobs; ++i) {
+      while (submitted.load(std::memory_order_acquire) <= i) {
+        std::this_thread::yield();
+      }
+      if (!gen[i].handle.valid()) continue;  // rejected at submit
+      gen[i].handle.wait();
+      lat_ns[i] = double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             Clock::now() - sched[i])
+                             .count());
+    }
+  });
+
+  std::uint64_t rejected = 0;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    std::this_thread::sleep_until(sched[i]);
+    auto r = srv.submit(gen[i].request());
+    if (r.ok()) {
+      gen[i].handle = r.value();
+    } else {
+      ++rejected;
+    }
+    submitted.store(i + 1, std::memory_order_release);
+  }
+  collector.join();
+  const auto t_end = Clock::now();
+  srv.shutdown();
+
+  const serve::ServerStats st = srv.stats();
+  std::vector<double> lat;
+  lat.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    if (gen[i].handle.valid()) lat.push_back(lat_ns[i]);
+  }
+  const double wall_s =
+      double(std::chrono::duration_cast<std::chrono::nanoseconds>(t_end - t0)
+                 .count()) /
+      1e9;
+
+  ServeRecord rec;
+  rec.bench = "serve:openloop";
+  rec.threads = srv.threads();
+  rec.qps = qps;
+  rec.jobs = jobs;
+  rec.completed_ok = st.completed_ok;
+  rec.rejected = rejected;
+  rec.p50_ms = pct_ms(lat, 50);
+  rec.p99_ms = pct_ms(lat, 99);
+  rec.p999_ms = pct_ms(lat, 99.9);
+  rec.goodput_jps = wall_s > 0 ? double(st.completed_ok) / wall_s : 0;
+  return rec;
+}
+
+// ---------------------------------------------------------------------------
+// Serving overhead vs direct invocation
+// ---------------------------------------------------------------------------
+
+struct Overhead {
+  double direct_ns = 0, served_ns = 0, noise_pct = 0, over_pct = 0;
+};
+
+/// Paired-ratio measurement of one served sort job vs the same sort run
+/// directly on an identically configured executor (see the header
+/// comment for the statistics).
+Overhead measure_overhead(int reps) {
+  const std::size_t n = 1 << 15;
+  util::Xoshiro256 rng(4242);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& x : keys) x = rng();
+
+  serve::ServerOptions o;
+  sched::NativeExecutor ex(o.threads, o.sequential_grain_words,
+                           sched::SchedMode::kWorkSteal);
+  serve::Server srv(o);
+
+  std::vector<std::uint64_t> buf;
+  auto direct = [&] {
+    buf = keys;
+    algo::spms_sort(ex, ref_of(buf));
+  };
+  auto served = [&] {
+    buf = keys;
+    auto r = srv.submit(serve::SortRequest{ref_of(buf)});
+    if (r.ok()) r.value().wait();
+  };
+  direct();
+  served();  // warm-up both paths
+
+  double best_direct = 0, best_served = 0;
+  std::vector<double> over_ratios, noise_ratios;
+  for (int r = 0; r < reps; ++r) {
+    double a, a2, b;
+    if (r % 2 == 0) {
+      a = bench::time_once_ns(direct);
+      a2 = bench::time_once_ns(direct);
+      b = bench::time_once_ns(served);
+    } else {
+      b = bench::time_once_ns(served);
+      a2 = bench::time_once_ns(direct);
+      a = bench::time_once_ns(direct);
+    }
+    over_ratios.push_back(b / a2);
+    noise_ratios.push_back(a / a2);
+    const double off = std::min(a, a2);
+    if (r == 0 || off < best_direct) best_direct = off;
+    if (r == 0 || b < best_served) best_served = b;
+  }
+  auto median = [](std::vector<double> v) {
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+  Overhead m;
+  m.direct_ns = best_direct;
+  m.served_ns = best_served;
+  m.noise_pct = 100.0 * std::abs(median(noise_ratios) - 1.0);
+  m.over_pct = 100.0 * (median(over_ratios) - 1.0);
+  return m;
+}
+
+void print_overhead(const Overhead& m, bool ok) {
+  util::Table t({"path", "best ns/job", "A/A noise", "overhead"});
+  t.add_row({"direct", util::Table::fmt(m.direct_ns, "%.0f"), "", ""});
+  t.add_row({std::string("served") + (ok ? "" : "  <-- FAIL"),
+             util::Table::fmt(m.served_ns, "%.0f"),
+             util::Table::fmt(m.noise_pct, "%.2f%%"),
+             util::Table::fmt(m.over_pct, "%+.2f%%")});
+  t.print(std::cout);
+}
+
+/// `--serve-off-check`: gate serving overhead at max(5%, A/A + 1%), with
+/// one confirming re-measure before failing (resonance with host load can
+/// push a single measurement over; a real regression reproduces).
+int serve_off_check(bool smoke, int reps) {
+  bench::print_header("serving overhead vs direct invocation");
+  std::printf("gate %s\n",
+              smoke ? "off (smoke)" : "on (<= max(5%, A/A noise + 1%))");
+  auto within = [smoke](const Overhead& m) {
+    return smoke || m.over_pct <= std::max(5.0, m.noise_pct + 1.0);
+  };
+  Overhead m = measure_overhead(reps);
+  bool ok = within(m);
+  if (!ok) {
+    m = measure_overhead(reps);
+    ok = within(m);
+  }
+  print_overhead(m, ok);
+  if (!ok) {
+    std::printf("\nFAIL: serving overhead exceeds the budget\n");
+    return 1;
+  }
+  std::printf("\nOK: serving overhead within budget\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace obliv
+
+int main(int argc, char** argv) {
+  const bool smoke = obliv::bench::smoke(argc, argv);
+  bool off_check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--serve-off-check") off_check = true;
+  }
+  const int reps = smoke ? 5 : 15;
+  if (off_check) return obliv::serve_off_check(smoke, reps);
+
+  obliv::bench::print_header("serve: open-loop latency under load");
+  std::printf("threads = %u, pinned = %s%s\n", obliv::bench::host_concurrency(),
+              obliv::bench::threads_pinned() ? "yes" : "no",
+              smoke ? " (smoke)" : "");
+
+  obliv::ServeRecorder json("BENCH_serve.json");
+  const auto qps_points = obliv::bench::sweep<double>(smoke, {100, 400, 800});
+  const std::size_t jobs = smoke ? 80 : 600;
+
+  // Unified trace-output contract (--trace-out= / OBLIV_TRACE_OUT): when a
+  // path is given the first open-loop point runs with a tracer attached and
+  // its job-lane events are exported for `obliv-trace analyze`.
+  const std::string trace_out = obliv::obs::resolve_trace_out(argc, argv);
+  obliv::obs::Tracer tracer(
+      std::max(1u, obliv::bench::host_concurrency()) + 1);
+
+  obliv::util::Table t({"qps", "jobs", "ok", "p50 ms", "p99 ms", "p999 ms",
+                        "goodput j/s"});
+  bool traced = false;
+  for (double qps : qps_points) {
+    obliv::obs::Tracer* tr =
+        (!trace_out.empty() && !traced) ? &tracer : nullptr;
+    traced = traced || tr != nullptr;
+    obliv::ServeRecord r =
+        obliv::run_open_loop(/*threads=*/0, qps, jobs, /*seed=*/0xD15C0, tr);
+    t.add_row({obliv::util::Table::fmt(qps, "%.0f"), std::to_string(r.jobs),
+               std::to_string(r.completed_ok),
+               obliv::util::Table::fmt(r.p50_ms, "%.3f"),
+               obliv::util::Table::fmt(r.p99_ms, "%.3f"),
+               obliv::util::Table::fmt(r.p999_ms, "%.3f"),
+               obliv::util::Table::fmt(r.goodput_jps, "%.1f")});
+    json.add(r);
+  }
+  t.print(std::cout);
+
+  // The overhead measurement rides along in the JSON (ungated here; the
+  // gate is the separate --serve-off-check ctest entry).
+  const obliv::Overhead m = obliv::measure_overhead(reps);
+  obliv::print_overhead(m, /*ok=*/true);
+  obliv::ServeRecord oc;
+  oc.bench = "serve:off_check";
+  oc.threads = obliv::bench::host_concurrency();
+  oc.jobs = 1;
+  oc.overhead_pct = m.over_pct;
+  oc.noise_pct = m.noise_pct;
+  json.add(oc);
+
+  json.write();
+  if (traced && obliv::obs::write_chrome_trace(trace_out, tracer)) {
+    std::printf("trace written to %s (analyze with tools/obliv-trace)\n",
+                trace_out.c_str());
+  }
+  return 0;
+}

@@ -184,6 +184,16 @@ inline bool threads_pinned() {
   return pinned;
 }
 
+/// Opens `{` and writes the environment fields every BENCH_*.json carries
+/// (git_rev, hardware_concurrency, pinned) -- one spelling shared by every
+/// recorder so the fields can never drift apart across benches.  The
+/// caller continues with its own keys and closes the object.
+inline void write_json_env_header(std::ostream& out) {
+  out << "{\n  \"git_rev\": \"" << git_rev() << "\",\n";
+  out << "  \"hardware_concurrency\": " << host_concurrency() << ",\n";
+  out << "  \"pinned\": " << (threads_pinned() ? "true" : "false") << ",\n";
+}
+
 /// One timed execution of `fn`, in nanoseconds.
 inline double time_once_ns(const std::function<void()>& fn) {
   const auto t0 = std::chrono::steady_clock::now();
@@ -239,9 +249,7 @@ class JsonRecorder {
       std::cerr << "warning: cannot write " << path_ << "\n";
       return false;
     }
-    out << "{\n  \"git_rev\": \"" << git_rev() << "\",\n";
-    out << "  \"hardware_concurrency\": " << host_concurrency() << ",\n";
-    out << "  \"pinned\": " << (threads_pinned() ? "true" : "false") << ",\n";
+    write_json_env_header(out);
     out << "  \"records\": [\n";
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
@@ -300,9 +308,7 @@ class SimRateRecorder {
       std::cerr << "warning: cannot write " << path_ << "\n";
       return false;
     }
-    out << "{\n  \"git_rev\": \"" << git_rev() << "\",\n";
-    out << "  \"hardware_concurrency\": " << host_concurrency() << ",\n";
-    out << "  \"pinned\": " << (threads_pinned() ? "true" : "false") << ",\n";
+    write_json_env_header(out);
     out << "  \"records\": [\n";
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];

@@ -34,6 +34,9 @@ enum class ErrorCode : std::uint8_t {
                         ///< cores, absurd thread counts)
   kResourceExhausted,   ///< allocation or thread-spawn failure
   kInternal,            ///< invariant breach that is a library bug
+  kCancelled,           ///< job cancelled by its owner before it ran
+  kDeadlineExceeded,    ///< job deadline passed before it could start
+  kUnavailable,         ///< server is draining and accepts no new jobs
 };
 
 inline std::string_view error_code_name(ErrorCode code) {
@@ -44,6 +47,9 @@ inline std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kUnsupported: return "unsupported";
     case ErrorCode::kResourceExhausted: return "resource_exhausted";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kUnavailable: return "unavailable";
   }
   return "unknown";
 }

@@ -49,7 +49,8 @@ bool kind_of_name(std::string_view name, EventKind& kind) {
       EventKind::kTaskSpawn, EventKind::kTaskSteal, EventKind::kTaskComplete,
       EventKind::kHintDispatch, EventKind::kAnchor, EventKind::kTaskBegin,
       EventKind::kTaskEnd, EventKind::kMiss, EventKind::kPingPong,
-      EventKind::kSuperstep, EventKind::kEpoch};
+      EventKind::kSuperstep, EventKind::kEpoch, EventKind::kJobAdmit,
+      EventKind::kJobBegin, EventKind::kJobEnd};
   for (EventKind k : kAll) {
     const std::string_view base = event_name(k);
     if (name == base ||

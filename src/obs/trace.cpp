@@ -23,6 +23,9 @@ std::string_view event_name(EventKind kind) {
     case EventKind::kPingPong: return "pingpong";
     case EventKind::kSuperstep: return "superstep";
     case EventKind::kEpoch: return "psim.epoch";
+    case EventKind::kJobAdmit: return "job.admit";
+    case EventKind::kJobBegin: return "job.begin";
+    case EventKind::kJobEnd: return "job.end";
   }
   return "unknown";
 }

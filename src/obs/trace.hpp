@@ -70,6 +70,12 @@ enum class EventKind : std::uint8_t {
                     ///< a=epoch index, b=buffered accesses, c=1 if the
                     ///< epoch fell back to serial replay; detail=cores
                     ///< active in the epoch
+  kJobAdmit,        ///< serve admission: a=job seq, b=space est words,
+                    ///< c=total admitted words after; detail=Family
+  kJobBegin,        ///< serve job body start on a worker: a=job seq,
+                    ///< b=queue wait ns; detail=Family
+  kJobEnd,          ///< serve job body end: a=job seq, b=run ns,
+                    ///< c=ErrorCode of the result; detail=Family
 };
 
 /// Sentinel for kMiss.b: the miss installed into a free line, nothing was
@@ -375,6 +381,7 @@ inline constexpr std::uint32_t cache_lane(std::uint32_t level,
 }
 inline constexpr std::uint32_t kSuperstepLane = 90;
 inline constexpr std::uint32_t kPsimEpochLane = 91;
+inline constexpr std::uint32_t kServeLane = 92;
 
 /// Serializes the tracer's events as Chrome trace_event JSON (the "JSON
 /// array format" chrome://tracing and Perfetto load).  Deterministic: ring

@@ -138,11 +138,11 @@ void WorkStealingPool::fork(Task* t) {
   assert(tls_binding.pool == this);
   workers_[tls_binding.id]->deque.push_bottom(t);
   if constexpr (obs::kTracingCompiledIn) {
-    if (tracer_ != nullptr) {
+    if (obs::Tracer* tr = tracer()) {
       const unsigned id = tls_binding.id;
-      tracer_->emit(ring_for(id), obs::EventKind::kTaskSpawn, 0, id,
-                    reinterpret_cast<std::uintptr_t>(t),
-                    workers_[id]->deque.approx_size(), 0);
+      tr->emit(ring_for(id, tr), obs::EventKind::kTaskSpawn, 0, id,
+               reinterpret_cast<std::uintptr_t>(t),
+               workers_[id]->deque.approx_size(), 0);
     }
   }
   // Wake at most a single helper; if it forks in turn it wakes the next
@@ -168,6 +168,10 @@ bool WorkStealingPool::local_deque_empty() const {
   return workers_[tls_binding.id]->deque.empty();
 }
 
+int WorkStealingPool::this_worker_id() const {
+  return tls_binding.pool == this ? static_cast<int>(tls_binding.id) : -1;
+}
+
 void WorkStealingPool::execute(Task* t) {
   if (fault::FaultPlan* p = fault::enabled(plan())) {
     // Simulated preemption: hold the task hostage for a bounded window
@@ -181,10 +185,10 @@ void WorkStealingPool::execute(Task* t) {
   t->run();
   // Emit before publishing completion: `t` may be dead past the exchange.
   if constexpr (obs::kTracingCompiledIn) {
-    if (tracer_ != nullptr) {
+    if (obs::Tracer* tr = tracer()) {
       const unsigned id = tls_binding.id;
-      tracer_->emit(ring_for(id), obs::EventKind::kTaskComplete, 0, id,
-                    reinterpret_cast<std::uintptr_t>(t), 0, 0);
+      tr->emit(ring_for(id, tr), obs::EventKind::kTaskComplete, 0, id,
+               reinterpret_cast<std::uintptr_t>(t), 0, 0);
     }
   }
   // Single RMW: publish completion and learn whether a joiner sleeps on it
@@ -199,7 +203,7 @@ Task* WorkStealingPool::try_steal(unsigned self) {
   // steal histogram; the clock read is paid only with a tracer attached.
   std::chrono::steady_clock::time_point scan_t0;
   if constexpr (obs::kTracingCompiledIn) {
-    if (tracer_ != nullptr) scan_t0 = std::chrono::steady_clock::now();
+    if (tracer() != nullptr) scan_t0 = std::chrono::steady_clock::now();
   }
   unsigned v = static_cast<unsigned>(splitmix64(workers_[self]->rng) % n);
   if (fault::FaultPlan* p = fault::enabled(plan())) {
@@ -215,13 +219,18 @@ Task* WorkStealingPool::try_steal(unsigned self) {
     if (v == self) continue;
     if (Task* t = workers_[v]->deque.steal_top()) {
       if constexpr (obs::kTracingCompiledIn) {
-        if (tracer_ != nullptr) {
-          steal_hist_->record(static_cast<std::uint64_t>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - scan_t0)
-                  .count()));
-          tracer_->emit(ring_for(self), obs::EventKind::kTaskSteal, 0, self,
-                        reinterpret_cast<std::uintptr_t>(t), v, 0);
+        if (obs::Tracer* tr = tracer()) {
+          // Histogram re-loaded (not derived from tr): a detach between
+          // the two reads must yield null here, never a stale pointer.
+          if (obs::Histogram* h =
+                  steal_hist_.load(std::memory_order_acquire)) {
+            h->record(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - scan_t0)
+                    .count()));
+          }
+          tr->emit(ring_for(self, tr), obs::EventKind::kTaskSteal, 0, self,
+                   reinterpret_cast<std::uintptr_t>(t), v, 0);
         }
       }
       return t;

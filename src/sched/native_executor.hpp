@@ -140,6 +140,12 @@ class WorkStealingPool {
   /// the lazy-splitting signal that more parallelism is profitable.
   bool local_deque_empty() const;
 
+  /// Worker slot of the calling thread on *this* pool, or -1 when the
+  /// caller is not bound to it (an external thread outside run_root).
+  /// Lets layered emitters (obliv::serve) target the calling worker's
+  /// single-producer trace ring without widening the tracer API.
+  int this_worker_id() const;
+
   /// Convenience used by tests and sb_parallel: fork-join a task vector.
   void run_all(std::vector<std::function<void()>> tasks);
 
@@ -154,22 +160,29 @@ class WorkStealingPool {
   /// latency of successful steals and the iteration count of each forked
   /// loop half.  Registration happens here (single-threaded) so workers
   /// only ever touch the pre-resolved Histogram pointers, whose record()
-  /// is a handful of relaxed atomics.
+  /// is a handful of relaxed atomics.  Like fault_plan_ below, the tracer
+  /// and histogram pointers are atomic because idle workers keep polling
+  /// try_steal() (which peeks at the tracer) even with no root task in
+  /// flight -- "quiescent" never means "no reader".
   void set_tracer(obs::Tracer* tracer) {
-    tracer_ = tracer;
-    steal_hist_ = nullptr;
-    grain_hist_ = nullptr;
+    obs::Histogram* steal = nullptr;
+    obs::Histogram* grain = nullptr;
     if constexpr (obs::kTracingCompiledIn) {
       if (tracer != nullptr) {
-        steal_hist_ = &tracer->counters().histogram("sched.steal.scan_ns");
-        grain_hist_ = &tracer->counters().histogram("sched.fork.grain_iters");
+        steal = &tracer->counters().histogram("sched.steal.scan_ns");
+        grain = &tracer->counters().histogram("sched.fork.grain_iters");
       }
     }
+    steal_hist_.store(steal, std::memory_order_release);
+    grain_hist_.store(grain, std::memory_order_release);
+    tracer_.store(tracer, std::memory_order_release);
   }
 
   /// Histogram of iterations per forked loop half (null iff no tracer);
   /// recorded by the lazy-splitting loop driver.
-  obs::Histogram* fork_grain_hist() const { return grain_hist_; }
+  obs::Histogram* fork_grain_hist() const {
+    return grain_hist_.load(std::memory_order_acquire);
+  }
 
   /// Attaches a fault::FaultPlan (nullptr detaches) that perturbs
   /// steal-victim selection (kStealVictim), inverts the pop-vs-steal help
@@ -201,9 +214,15 @@ class WorkStealingPool {
   fault::FaultPlan* plan() const {
     return fault_plan_.load(std::memory_order_acquire);
   }
-  /// Ring owned by worker `id` under the current tracer.
-  std::uint32_t ring_for(unsigned id) const {
-    return static_cast<std::uint32_t>(id % tracer_->ring_count());
+  /// Current tracer; acquire pairs with the release in set_tracer so a
+  /// worker that sees the pointer also sees the registered histograms.
+  obs::Tracer* tracer() const {
+    return tracer_.load(std::memory_order_acquire);
+  }
+  /// Ring owned by worker `id` under tracer `tr` (pre-loaded by the
+  /// caller so one emission site does a single atomic read).
+  static std::uint32_t ring_for(unsigned id, const obs::Tracer* tr) {
+    return static_cast<std::uint32_t>(id % tr->ring_count());
   }
   bool have_stealable() const;
   void notify(bool everyone);
@@ -222,9 +241,9 @@ class WorkStealingPool {
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<int> sleepers_{0};
   std::atomic<bool> stop_{false};
-  obs::Tracer* tracer_ = nullptr;
-  obs::Histogram* steal_hist_ = nullptr;
-  obs::Histogram* grain_hist_ = nullptr;
+  std::atomic<obs::Tracer*> tracer_{nullptr};
+  std::atomic<obs::Histogram*> steal_hist_{nullptr};
+  std::atomic<obs::Histogram*> grain_hist_{nullptr};
   std::atomic<fault::FaultPlan*> fault_plan_{nullptr};
   bool pinned_ = false;
 };
@@ -299,6 +318,17 @@ class NativeExecutor {
 
   /// True when scheduling on the work-stealing backend.
   bool work_stealing() const { return ws_ != nullptr; }
+
+  /// The underlying work-stealing pool, or nullptr on the shared-queue
+  /// baseline.  The serve layer schedules jobs as sibling task trees
+  /// directly on the pool (fork/join from inside one long-lived root);
+  /// algorithm code never needs this.
+  WorkStealingPool* steal_pool() { return ws_.get(); }
+
+  /// Steal cut-off grain (words): tasks whose space bound is below this
+  /// run inline on the forking core.  Exposed so layered schedulers can
+  /// size admission estimates consistently with the executor.
+  std::uint64_t sequential_grain_words() const { return grain_; }
 
   /// True when the pool's spawned workers are core-pinned (OBLIV_PIN; see
   /// WorkStealingPool::pinned).  Always false on the shared-queue baseline.

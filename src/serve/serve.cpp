@@ -1,0 +1,665 @@
+#include "serve/serve.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <deque>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "algo/gep.hpp"
+#include "algo/listrank.hpp"
+#include "algo/scan.hpp"
+#include "algo/sort.hpp"
+#include "algo/transpose.hpp"
+#include "sched/views.hpp"
+#include "util/bits.hpp"
+
+namespace obliv::serve {
+
+namespace {
+
+template <class... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
+Status invalid(const std::string& what) {
+  return Status::error(ErrorCode::kInvalidArgument, what);
+}
+
+/// A view is well-formed when it is empty or carries real memory.
+template <class T>
+bool view_ok(const sched::NatRef<T>& r) {
+  return r.size() == 0 || r.raw() != nullptr;
+}
+
+}  // namespace
+
+std::string_view family_name(Family f) {
+  switch (f) {
+    case Family::kScan: return "scan";
+    case Family::kSort: return "sort";
+    case Family::kFft: return "fft";
+    case Family::kTranspose: return "transpose";
+    case Family::kGep: return "gep";
+    case Family::kListRank: return "listrank";
+    case Family::kSpmdv: return "spmdv";
+  }
+  return "unknown";
+}
+
+Family family_of(const Request& req) {
+  return std::visit(
+      Overloaded{
+          [](const ScanRequest&) { return Family::kScan; },
+          [](const SortRequest&) { return Family::kSort; },
+          [](const FftRequest&) { return Family::kFft; },
+          [](const TransposeRequest&) { return Family::kTranspose; },
+          [](const GepRequest&) { return Family::kGep; },
+          [](const ListRankRequest&) { return Family::kListRank; },
+          [](const SpmdvRequest&) { return Family::kSpmdv; },
+      },
+      req);
+}
+
+Status validate(const Request& req) {
+  return std::visit(
+      Overloaded{
+          [](const ScanRequest& r) {
+            if (!view_ok(r.data)) return invalid("scan: null data view");
+            return Status();
+          },
+          [](const SortRequest& r) {
+            if (!view_ok(r.keys)) return invalid("sort: null key view");
+            return Status();
+          },
+          [](const FftRequest& r) {
+            if (!view_ok(r.data)) return invalid("fft: null data view");
+            if (r.data.size() != 0 && !util::is_pow2(r.data.size())) {
+              return invalid("fft: size must be a power of two, got " +
+                             std::to_string(r.data.size()));
+            }
+            return Status();
+          },
+          [](const TransposeRequest& r) {
+            if (!view_ok(r.in) || !view_ok(r.out)) {
+              return invalid("transpose: null matrix view");
+            }
+            if (r.n == 0) return Status();
+            if (!util::is_pow2(r.n)) {
+              return invalid("transpose: side must be a power of two, got " +
+                             std::to_string(r.n));
+            }
+            if (r.in.size() < r.n * r.n || r.out.size() < r.n * r.n) {
+              return invalid("transpose: views shorter than n*n");
+            }
+            if (r.in.raw() == r.out.raw()) {
+              return invalid("transpose: in and out may not alias");
+            }
+            return Status();
+          },
+          [](const GepRequest& r) {
+            if (!view_ok(r.matrix)) return invalid("gep: null matrix view");
+            if (r.n != 0 && r.matrix.size() < r.n * r.n) {
+              return invalid("gep: view shorter than n*n");
+            }
+            return Status();
+          },
+          [](const ListRankRequest& r) {
+            if (!view_ok(r.succ) || !view_ok(r.pred) || !view_ok(r.dist)) {
+              return invalid("listrank: null view");
+            }
+            if (r.succ.size() != r.pred.size() ||
+                r.succ.size() != r.dist.size()) {
+              return invalid("listrank: succ/pred/dist lengths differ");
+            }
+            return Status();
+          },
+          [](const SpmdvRequest& r) {
+            if (!view_ok(r.av) || !view_ok(r.a0) || !view_ok(r.x) ||
+                !view_ok(r.y)) {
+              return invalid("spmdv: null view");
+            }
+            const std::uint64_t n = r.y.size();
+            if (n == 0) return Status();
+            if (r.a0.size() != n + 1) {
+              return invalid("spmdv: a0 must hold y.size()+1 offsets");
+            }
+            if (r.x.size() < n) {
+              return invalid("spmdv: x shorter than the row count");
+            }
+            // Cheap endpoint checks; per-row monotonicity is the caller's
+            // contract (validating it would read the whole offset array).
+            if (r.a0.load(0) != 0 || r.a0.load(n) > r.av.size()) {
+              return invalid("spmdv: a0 endpoints inconsistent with av");
+            }
+            return Status();
+          },
+      },
+      req);
+}
+
+std::uint64_t space_estimate_words(const Request& req) {
+  return std::visit(
+      Overloaded{
+          [](const ScanRequest& r) -> std::uint64_t {
+            return 2 * r.data.size();
+          },
+          [](const SortRequest& r) -> std::uint64_t {
+            return 4 * r.keys.size();
+          },
+          [](const FftRequest& r) -> std::uint64_t {
+            return 6 * r.data.size();  // 3n complex elements, 2 words each
+          },
+          [](const TransposeRequest& r) -> std::uint64_t {
+            return 3 * r.n * r.n;
+          },
+          [](const GepRequest& r) -> std::uint64_t { return r.n * r.n; },
+          [](const ListRankRequest& r) -> std::uint64_t {
+            return 8 * r.succ.size();
+          },
+          [](const SpmdvRequest& r) -> std::uint64_t {
+            return 4 * r.y.size() + 2 * r.av.size();
+          },
+      },
+      req);
+}
+
+namespace {
+
+/// Runs the validated request on the shared executor.  Zero-size requests
+/// are a no-op by definition (nothing to compute, nothing to write).
+void execute_request(sched::NativeExecutor& ex, const Request& req) {
+  std::visit(
+      Overloaded{
+          [&](const ScanRequest& r) {
+            if (r.data.size() != 0) algo::mo_prefix_sum(ex, r.data);
+          },
+          [&](const SortRequest& r) {
+            if (r.keys.size() != 0) algo::spms_sort(ex, r.keys);
+          },
+          [&](const FftRequest& r) {
+            if (r.data.size() != 0) algo::mo_fft(ex, r.data);
+          },
+          [&](const TransposeRequest& r) {
+            if (r.n != 0) algo::mo_transpose(ex, r.in, r.out, r.n);
+          },
+          [&](const GepRequest& r) {
+            if (r.n != 0) {
+              using Mat = sched::MatView<sched::NatRef<double>>;
+              algo::igep<algo::FloydWarshallInstance>(
+                  ex, Mat::full(r.matrix, r.n, r.n));
+            }
+          },
+          [&](const ListRankRequest& r) {
+            if (r.succ.size() != 0) {
+              algo::mo_list_rank(ex, r.succ, r.pred, r.dist);
+            }
+          },
+          [&](const SpmdvRequest& r) {
+            if (r.y.size() != 0) algo::mo_spmdv(ex, r.av, r.a0, r.x, r.y);
+          },
+      },
+      req);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Core
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+struct Core : std::enable_shared_from_this<Core> {
+  /// One waiting job: everything needed to run it once admitted.
+  struct Entry {
+    std::shared_ptr<JobState> st;
+    Request req;
+    std::uint64_t submit_ns = 0;  ///< tracer clock at submit (0 = untraced)
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+
+  /// One admitted job: a heap-held sibling task tree on the shared pool.
+  /// The pool only moves the Task* around; the Entry payload rides along.
+  struct Job : sched::Task {
+    Job(Core* c, Entry e)
+        : Task(&Job::run_static), core(c), entry(std::move(e)) {}
+
+    static void run_static(sched::Task* t) {
+      static_cast<Job*>(t)->run_job();
+    }
+
+    void run_job() {
+      JobState& st = *entry.st;
+      obs::Tracer* tracer = core->tracer_;
+      std::uint64_t begin_ns = 0;
+      if constexpr (obs::kTracingCompiledIn) {
+        if (tracer != nullptr) {
+          begin_ns = tracer->now();
+          const int wid = core->pool_->this_worker_id();
+          const std::uint32_t ring =
+              static_cast<std::uint32_t>(wid < 0 ? 0 : wid) %
+              tracer->ring_count();
+          const std::uint64_t wait_ns =
+              begin_ns >= entry.submit_ns ? begin_ns - entry.submit_ns : 0;
+          tracer->emit(ring, obs::EventKind::kJobBegin,
+                       static_cast<std::uint8_t>(st.family), obs::kServeLane,
+                       st.seq, wait_ns, 0);
+          if (core->wait_hist_ != nullptr) core->wait_hist_->record(wait_ns);
+        }
+      }
+      // Per-job fault isolation: a failing job surfaces a typed Status and
+      // leaves the server and its sibling jobs untouched.
+      Status result;
+      try {
+        execute_request(core->ex_, entry.req);
+      } catch (const Error& e) {
+        result = Status::error(e.code(), e.what());
+      } catch (const std::bad_alloc&) {
+        result = Status::error(ErrorCode::kResourceExhausted,
+                               "job allocation failed");
+      } catch (const std::exception& e) {
+        result = Status::error(ErrorCode::kInternal,
+                               std::string("job raised: ") + e.what());
+      }
+      if constexpr (obs::kTracingCompiledIn) {
+        if (tracer != nullptr) {
+          const std::uint64_t end_ns = tracer->now();
+          const int wid = core->pool_->this_worker_id();
+          const std::uint32_t ring =
+              static_cast<std::uint32_t>(wid < 0 ? 0 : wid) %
+              tracer->ring_count();
+          const std::uint64_t run_ns =
+              end_ns >= begin_ns ? end_ns - begin_ns : 0;
+          tracer->emit(ring, obs::EventKind::kJobEnd,
+                       static_cast<std::uint8_t>(st.family), obs::kServeLane,
+                       st.seq, run_ns,
+                       static_cast<std::uint64_t>(result.code()));
+          if (core->run_hist_ != nullptr) core->run_hist_->record(run_ns);
+        }
+      }
+      if (result.ok()) {
+        core->completed_ok_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        core->failed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      complete(*entry.st, std::move(result));
+      // The dispatcher reaps this Job (and releases its space) after the
+      // pool's completion handshake; `this` stays valid until then.
+    }
+
+    Core* core;
+    Entry entry;
+  };
+
+  explicit Core(const ServerOptions& opts)
+      : opts_(opts),
+        ex_(opts.threads, opts.sequential_grain_words,
+            sched::SchedMode::kWorkSteal),
+        pool_(ex_.steal_pool()) {
+    if (pool_ == nullptr) {
+      // Unreachable with an explicit kWorkSteal request; guard anyway.
+      throw Error(ErrorCode::kInternal,
+                  "serve requires the work-stealing backend");
+    }
+  }
+
+  ~Core() { shutdown(); }
+
+  /// Flips a job's (done, status) exactly once and wakes its waiters.
+  static void complete(JobState& st, Status status) {
+    {
+      std::lock_guard<std::mutex> lk(st.mu);
+      assert(!st.done);
+      st.done = true;
+      st.status = std::move(status);
+    }
+    st.cv.notify_all();
+  }
+
+  void start_dispatcher() {
+    dispatcher_ = std::thread([self = shared_from_this()] {
+      struct ServiceRoot : sched::Task {
+        explicit ServiceRoot(Core* c) : Task(&ServiceRoot::run_static),
+                                        core(c) {}
+        static void run_static(sched::Task* t) {
+          static_cast<ServiceRoot*>(t)->core->dispatch();
+        }
+        Core* core;
+      } root(self.get());
+      // One run_root for the server's lifetime: the dispatcher holds the
+      // pool's external-entry slot (worker 0) and forks every admitted job
+      // from inside it, so jobs are siblings and nested constructs take
+      // the mutex-free worker path.
+      self->pool_->run_root(root);
+    });
+  }
+
+  Result<JobHandle> submit(const Request& req, const JobOptions& jopts) {
+    const Status v = validate(req);
+    if (!v.ok()) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return v;
+    }
+    const std::uint64_t est = space_estimate_words(req);
+    if (est > opts_.space_budget_words) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::error(
+          ErrorCode::kResourceExhausted,
+          "request working set (" + std::to_string(est) +
+              " words) exceeds the server space budget (" +
+              std::to_string(opts_.space_budget_words) + ")");
+    }
+    auto st = std::make_shared<JobState>();
+    st->family = family_of(req);
+    st->est_words = est;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stopping_) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return Status::error(ErrorCode::kUnavailable,
+                             "server is draining; submit rejected");
+      }
+      if (queue_.size() >= opts_.queue_capacity) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return Status::error(
+            ErrorCode::kResourceExhausted,
+            "admission queue full (" +
+                std::to_string(opts_.queue_capacity) + " waiting jobs)");
+      }
+      st->seq = next_seq_++;
+      Entry e;
+      e.st = st;
+      e.req = req;
+      if constexpr (obs::kTracingCompiledIn) {
+        if (tracer_ != nullptr) e.submit_ns = tracer_->now();
+      }
+      if (jopts.deadline.has_value()) {
+        e.has_deadline = true;
+        e.deadline = *jopts.deadline;
+      }
+      queue_.push_back(std::move(e));
+      queue_peak_ = std::max(queue_peak_, queue_.size());
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    cv_.notify_all();
+    return JobHandle(shared_from_this(), std::move(st));
+  }
+
+  bool cancel(const std::shared_ptr<JobState>& st) {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->st == st) {
+        queue_.erase(it);
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        lk.unlock();
+        complete(*st, Status::error(ErrorCode::kCancelled,
+                                    "cancelled before admission"));
+        return true;
+      }
+    }
+    return false;  // already admitted (or already complete)
+  }
+
+  void shutdown() {
+    std::call_once(shutdown_once_, [this] {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        stopping_ = true;
+      }
+      cv_.notify_all();
+      if (dispatcher_.joinable()) dispatcher_.join();
+      publish_counters();
+    });
+  }
+
+  ServerStats stats() const {
+    ServerStats s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.completed_ok = completed_ok_.load(std::memory_order_relaxed);
+    s.failed = failed_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.cancelled = cancelled_.load(std::memory_order_relaxed);
+    s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+    s.space_budget_words = opts_.space_budget_words;
+    std::lock_guard<std::mutex> lk(mu_);
+    s.space_peak_words = space_peak_;
+    s.queue_peak = queue_peak_;
+    return s;
+  }
+
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    wait_hist_ = nullptr;
+    run_hist_ = nullptr;
+    ex_.set_tracer(tracer);
+    if constexpr (obs::kTracingCompiledIn) {
+      if (tracer != nullptr) {
+        tracer->name_lane(obs::kServeLane, "serve jobs");
+        // Pre-resolve histogram handles single-threaded; workers only
+        // touch record(), which is a few relaxed atomics.
+        wait_hist_ = &tracer->counters().histogram("serve.job.wait_ns");
+        run_hist_ = &tracer->counters().histogram("serve.job.run_ns");
+      }
+    }
+  }
+
+  // ---- dispatcher ---------------------------------------------------------
+
+  void dispatch() {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      sweep_deadlines_locked();
+      admit_locked();
+      if (!inflight_.empty()) {
+        Job* front = inflight_.front().get();
+        lk.unlock();
+        // Help execute: the dispatcher drains its own deque (the admitted
+        // jobs) and steals while it waits, so progress never depends on
+        // spawned workers existing (this container may have one core).
+        pool_->join(front);
+        lk.lock();
+        reap_locked();
+        continue;
+      }
+      if (queue_.empty()) {
+        if (stopping_) break;
+        cv_.wait(lk);
+        continue;
+      }
+      // Unreachable: with nothing in flight admit_locked() always takes
+      // the queue head (any accepted estimate fits an empty budget).
+      assert(false && "serve dispatcher: queued job not admissible");
+    }
+  }
+
+  /// Completes (without running) every queued job whose start deadline has
+  /// passed.  Called with mu_ held.
+  void sweep_deadlines_locked() {
+    if (queue_.empty()) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (it->has_deadline && it->deadline <= now) {
+        std::shared_ptr<JobState> st = std::move(it->st);
+        it = queue_.erase(it);
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        complete(*st, Status::error(ErrorCode::kDeadlineExceeded,
+                                    "deadline passed before the job could "
+                                    "start"));
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// FIFO head-only admission: admits while the head's estimate fits the
+  /// remaining budget.  No overtaking, so a large job is never starved by
+  /// small ones arriving behind it.  Called with mu_ held.
+  void admit_locked() {
+    while (!queue_.empty()) {
+      const std::uint64_t est = queue_.front().st->est_words;
+      if (used_words_ + est > opts_.space_budget_words) break;
+      Entry e = std::move(queue_.front());
+      queue_.pop_front();
+      used_words_ += est;
+      space_peak_ = std::max(space_peak_, used_words_);
+      auto job = std::make_unique<Job>(this, std::move(e));
+      Job* raw = job.get();
+      inflight_.push_back(std::move(job));
+      if constexpr (obs::kTracingCompiledIn) {
+        if (tracer_ != nullptr) {
+          // Ring 0 is the dispatcher's own (it holds the pool's worker-0
+          // slot for the server's lifetime).
+          tracer_->emit(0 % tracer_->ring_count(), obs::EventKind::kJobAdmit,
+                        static_cast<std::uint8_t>(raw->entry.st->family),
+                        obs::kServeLane, raw->entry.st->seq, est,
+                        used_words_);
+        }
+      }
+      pool_->fork(raw);
+    }
+  }
+
+  /// Releases the space of every finished job.  Conservative (space is
+  /// held until the dispatcher notices completion), which keeps the
+  /// "combined estimates never exceed the budget" invariant exact.
+  /// Called with mu_ held.
+  void reap_locked() {
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+      if ((*it)->finished()) {
+        used_words_ -= (*it)->entry.st->est_words;
+        it = inflight_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Publishes aggregate counters into the tracer.  Single-threaded: runs
+  /// after the dispatcher has joined (CounterRegistry is not thread-safe).
+  void publish_counters() {
+    if constexpr (obs::kTracingCompiledIn) {
+      if (tracer_ == nullptr) return;
+      obs::CounterRegistry& c = tracer_->counters();
+      c.set("serve.jobs_submitted",
+            submitted_.load(std::memory_order_relaxed));
+      c.set("serve.jobs_completed_ok",
+            completed_ok_.load(std::memory_order_relaxed));
+      c.set("serve.jobs_failed", failed_.load(std::memory_order_relaxed));
+      c.set("serve.jobs_rejected", rejected_.load(std::memory_order_relaxed));
+      c.set("serve.jobs_cancelled",
+            cancelled_.load(std::memory_order_relaxed));
+      c.set("serve.jobs_deadline_exceeded",
+            deadline_exceeded_.load(std::memory_order_relaxed));
+      c.set("serve.space_budget_words", opts_.space_budget_words);
+      c.set("serve.space_peak_words", space_peak_);
+      c.set("serve.queue_peak", queue_peak_);
+    }
+  }
+
+  // ---- state --------------------------------------------------------------
+
+  const ServerOptions opts_;
+  sched::NativeExecutor ex_;
+  sched::WorkStealingPool* pool_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::Histogram* wait_hist_ = nullptr;
+  obs::Histogram* run_hist_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< wakes the idle dispatcher
+  bool stopping_ = false;
+  std::deque<Entry> queue_;
+  std::deque<std::unique_ptr<Job>> inflight_;
+  std::uint64_t used_words_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t space_peak_ = 0;
+  std::uint64_t queue_peak_ = 0;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_ok_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+
+  std::once_flag shutdown_once_;
+  std::thread dispatcher_;
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// JobHandle / Server
+// ---------------------------------------------------------------------------
+
+Status JobHandle::wait() const {
+  if (st_ == nullptr) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "wait() on an empty JobHandle");
+  }
+  std::unique_lock<std::mutex> lk(st_->mu);
+  st_->cv.wait(lk, [this] { return st_->done; });
+  return st_->status;
+}
+
+bool JobHandle::cancel() {
+  if (core_ == nullptr || st_ == nullptr) return false;
+  return core_->cancel(st_);
+}
+
+Server::Server(ServerOptions opts)
+    : core_(std::make_shared<detail::Core>(opts)) {
+  core_->start_dispatcher();
+}
+
+Result<Server> Server::make(ServerOptions opts) noexcept {
+  try {
+    return Server(std::move(opts));
+  } catch (const Error& e) {
+    return Status::error(e.code(), e.what());
+  } catch (const std::bad_alloc&) {
+    return Status::error(ErrorCode::kResourceExhausted,
+                         "server setup allocation failed");
+  } catch (const std::system_error& e) {
+    return Status::error(ErrorCode::kResourceExhausted,
+                         std::string("dispatcher spawn failed: ") + e.what());
+  } catch (const std::exception& e) {
+    return Status::error(ErrorCode::kInternal,
+                         std::string("server setup raised: ") + e.what());
+  }
+}
+
+Server::~Server() {
+  if (core_ != nullptr) core_->shutdown();
+}
+
+Result<JobHandle> Server::submit(const Request& req,
+                                 const JobOptions& jopts) {
+  return core_->submit(req, jopts);
+}
+
+void Server::shutdown() { core_->shutdown(); }
+
+ServerStats Server::stats() const { return core_->stats(); }
+
+unsigned Server::threads() const { return core_->ex_.threads(); }
+
+const ServerOptions& Server::options() const { return core_->opts_; }
+
+void Server::set_tracer(obs::Tracer* tracer) { core_->set_tracer(tracer); }
+
+void Server::set_fault_plan(fault::FaultPlan* plan) {
+  core_->ex_.set_fault_plan(plan);
+}
+
+}  // namespace obliv::serve

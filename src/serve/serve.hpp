@@ -1,0 +1,303 @@
+// obliv::serve -- a multi-job serving front-end over one shared pool.
+//
+// Everything below src/serve runs one algorithm invocation at a time; this
+// layer multiplexes a *stream* of typed algorithm requests (the seven paper
+// families, over caller-owned buffers) onto a single NativeExecutor, so one
+// long-running process can serve many concurrent clients.  The paper's SB
+// space bounds are what make that safe: each family's anchored working set
+// S(n) is a closed form of the request size, so admission control can keep
+// the sum of in-flight working sets under a configured cache budget --
+// concurrent jobs then cannot evict each other's anchored sets, which is
+// the co-scheduling analogue of the single-job anchoring rule.
+//
+// Scheduling shape: the server owns a dispatcher thread that enters the
+// pool's run_root() ONCE, with a service root that lives for the server's
+// lifetime, and forks each admitted job as a heap-held sibling task tree.
+// Workers steal whole jobs FIFO (coarsest-first), and every nested parallel
+// construct a job's algorithm issues takes the pool's mutex-free nested
+// path -- so N concurrent jobs interleave at task granularity on the same
+// deques, rather than serializing per top-level construct at root_mu_.
+// While jobs are in flight the dispatcher helps execute them via join(),
+// which means admission / deadline / cancellation processing has latency
+// bounded by one job's duration -- acceptable for a batch-of-jobs server
+// and what keeps the design allocation- and lock-free on the hot path.
+//
+// Per-job isolation (PR 5): each job body runs under try/catch and maps
+// failures onto the typed Status -- std::bad_alloc (including injected
+// kAllocBuf faults) to kResourceExhausted, obliv::Error to its own code,
+// anything else to kInternal -- so one failing job never takes down the
+// server or its siblings.  Schedule chaos attached via set_fault_plan()
+// perturbs only *which* legal schedule runs; results are bit-identical
+// (the PR 5 fuzz property, re-checked for served jobs in
+// tests/test_serve_concurrency.cpp).
+//
+// Per-request observability (PR 4/7): admissions are emitted by the
+// dispatcher on ring 0 and job begin/end by the executing worker on its
+// own ring, all on the dedicated kServeLane, tagged with a dense job
+// sequence number -- `obliv-trace analyze` prints a per-job latency
+// summary for any served trace.  Aggregate counters (jobs by outcome,
+// space peak vs budget, queue peak) are published into the tracer's
+// CounterRegistry at drain time, single-threaded.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <variant>
+
+#include "algo/fft.hpp"
+#include "algo/spmdv.hpp"
+#include "fault/fault.hpp"
+#include "fault/status.hpp"
+#include "obs/trace.hpp"
+#include "sched/native_executor.hpp"
+
+namespace obliv::serve {
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// The seven paper algorithm families a server accepts.  Stamped into the
+/// kJob* events' detail byte, so keep values dense and stable.
+enum class Family : std::uint8_t {
+  kScan = 0,
+  kSort,
+  kFft,
+  kTranspose,
+  kGep,
+  kListRank,
+  kSpmdv,
+};
+inline constexpr std::size_t kFamilies = 7;
+
+std::string_view family_name(Family f);
+
+// Request payloads are *views* over caller-owned memory (NatRef carries a
+// pointer + length, nothing more).  The caller keeps every referenced
+// buffer alive and unaliased by other live jobs until the job's handle
+// reports completion; results are written in place, exactly as the direct
+// algorithm entry points do.
+
+/// In-place inclusive prefix sum over int64 (Sec III-A).  S(n) = 2n.
+struct ScanRequest {
+  sched::NatRef<std::int64_t> data;
+};
+
+/// SPMS sort of uint64 keys, ascending (Thm 3-5).  S(n) = 4n.
+struct SortRequest {
+  sched::NatRef<std::uint64_t> keys;
+};
+
+/// In-place MO-FFT (Thm 2); size must be a power of two.  S(n) = 6n words
+/// (3n complex elements of 2 words each).
+struct FftRequest {
+  sched::NatRef<algo::cplx> data;
+};
+
+/// Out-of-place MO-MT transposition of an n x n matrix (Thm 1); n must be
+/// a power of two and `in`/`out` may not alias.  S(n) = 3n^2.
+struct TransposeRequest {
+  sched::NatRef<double> in;
+  sched::NatRef<double> out;
+  std::uint64_t n = 0;  ///< matrix side
+};
+
+/// In-place I-GEP Floyd-Warshall over an n x n matrix (Sec IV).  S = n^2.
+struct GepRequest {
+  sched::NatRef<double> matrix;
+  std::uint64_t n = 0;  ///< matrix side
+};
+
+/// MO-LR list ranking (Thm 7): succ/pred use algo::kNil as terminators,
+/// dist receives the rank.  All three the same length.  S(n) ~= 8n (the
+/// recursion's internal scratch dominates the three caller arrays).
+struct ListRankRequest {
+  sched::NatRef<std::uint64_t> succ;
+  sched::NatRef<std::uint64_t> pred;
+  sched::NatRef<std::uint64_t> dist;
+};
+
+/// SpM-DV y = A*x in the paper's (A_v, A_0) separator-reordered layout
+/// (Sec V).  a0 holds y.size()+1 row offsets into av.  S = 4n + 2*nnz.
+struct SpmdvRequest {
+  sched::NatRef<algo::SpmEntry> av;
+  sched::NatRef<std::uint64_t> a0;
+  sched::NatRef<double> x;
+  sched::NatRef<double> y;
+};
+
+using Request = std::variant<ScanRequest, SortRequest, FftRequest,
+                             TransposeRequest, GepRequest, ListRankRequest,
+                             SpmdvRequest>;
+
+Family family_of(const Request& req);
+
+/// Structural validation, applied at submit time: null views with nonzero
+/// lengths, non-power-of-two FFT/transpose sizes, aliased transpose
+/// buffers, short matrices, mismatched list-rank arrays, inconsistent
+/// (A_v, A_0) shapes.  kOk means the request is safe to execute.
+Status validate(const Request& req);
+
+/// The admission-control working-set estimate: the family's SB space bound
+/// S(n) in words, evaluated for this request's size.  Deterministic and
+/// cheap (no data access), so clients can predict admission behavior.
+std::uint64_t space_estimate_words(const Request& req);
+
+// ---------------------------------------------------------------------------
+// Server configuration / results
+// ---------------------------------------------------------------------------
+
+struct ServerOptions {
+  /// Worker threads for the shared pool; 0 = hardware concurrency.
+  unsigned threads = 0;
+  /// Combined anchored-working-set budget for concurrently admitted jobs,
+  /// in words.  A request whose own estimate exceeds this is rejected at
+  /// submit (it could never be admitted); the default models a 32 MiB
+  /// last-level cache.
+  std::uint64_t space_budget_words = std::uint64_t{1} << 22;
+  /// Bounded admission queue: submits beyond this many *waiting* jobs are
+  /// rejected with kResourceExhausted (admitted jobs do not count).
+  std::size_t queue_capacity = 64;
+  /// Steal cut-off grain forwarded to the executor.
+  std::uint64_t sequential_grain_words = 1 << 12;
+};
+
+struct JobOptions {
+  /// Deadline for *starting* the job.  A job still queued when its
+  /// deadline passes completes with kDeadlineExceeded and never runs; a
+  /// job already admitted runs to completion (results are never torn).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+};
+
+/// Aggregate server statistics; also published as serve.* counters into
+/// the attached tracer's CounterRegistry at drain time.
+struct ServerStats {
+  std::uint64_t submitted = 0;          ///< accepted submits
+  std::uint64_t completed_ok = 0;       ///< ran and returned kOk
+  std::uint64_t failed = 0;             ///< ran and returned an error
+  std::uint64_t rejected = 0;           ///< refused at submit
+  std::uint64_t cancelled = 0;          ///< cancelled while queued
+  std::uint64_t deadline_exceeded = 0;  ///< expired while queued
+  std::uint64_t space_peak_words = 0;   ///< max combined in-flight estimate
+  std::uint64_t queue_peak = 0;         ///< max waiting jobs
+  std::uint64_t space_budget_words = 0; ///< the configured budget
+};
+
+namespace detail {
+
+struct Core;
+
+/// Per-job completion record.  Immutable identity fields are set before
+/// the state is visible to any other thread; the (done, status) pair flips
+/// exactly once under mu.
+struct JobState {
+  std::uint64_t seq = 0;
+  Family family = Family::kScan;
+  std::uint64_t est_words = 0;
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  bool done = false;
+  Status status;
+};
+
+}  // namespace detail
+
+/// Handle to one submitted job.  Copyable; all copies observe the same
+/// completion.  Handles keep the server core (and its pool) alive, so a
+/// handle outliving the Server object stays safe to wait on.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  bool valid() const { return st_ != nullptr; }
+
+  /// Dense per-server job sequence number (also in the trace events).
+  std::uint64_t id() const { return st_ ? st_->seq : 0; }
+  Family family() const { return st_ ? st_->family : Family::kScan; }
+  std::uint64_t space_estimate() const { return st_ ? st_->est_words : 0; }
+
+  /// True once the job has a result (non-blocking).
+  bool done() const {
+    if (st_ == nullptr) return false;
+    std::lock_guard<std::mutex> lk(st_->mu);
+    return st_->done;
+  }
+
+  /// Blocks until the job completes; returns its Status.  Every accepted
+  /// job completes eventually (drain finishes queued work; cancellation
+  /// and deadlines complete without running), so wait() cannot hang on a
+  /// live server.
+  Status wait() const;
+
+  /// Requests cancellation.  Succeeds (returns true, job completes with
+  /// kCancelled, its algorithm never runs) only while the job is still
+  /// waiting for admission; a job that already started runs to
+  /// completion and cancel() returns false.
+  bool cancel();
+
+ private:
+  friend class Server;
+  friend struct detail::Core;
+  JobHandle(std::shared_ptr<detail::Core> core,
+            std::shared_ptr<detail::JobState> st)
+      : core_(std::move(core)), st_(std::move(st)) {}
+
+  std::shared_ptr<detail::Core> core_;
+  std::shared_ptr<detail::JobState> st_;
+};
+
+class Server {
+ public:
+  /// Builds the pool and starts the dispatcher.  Throws obliv::Error on
+  /// invalid options and propagates pool setup failures; prefer make() on
+  /// untrusted input.
+  explicit Server(ServerOptions opts = {});
+
+  /// Non-throwing companion: kUnsupported / kInvalidConfig for bad
+  /// options, kResourceExhausted when pool or dispatcher setup fails.
+  static Result<Server> make(ServerOptions opts = {}) noexcept;
+
+  /// Drains: equivalent to shutdown().
+  ~Server();
+
+  Server(Server&&) noexcept = default;
+  Server& operator=(Server&&) noexcept = default;
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Validates and enqueues a request.  Errors: kInvalidArgument
+  /// (malformed request), kResourceExhausted (queue full, or the request
+  /// alone exceeds the space budget), kUnavailable (server draining).
+  Result<JobHandle> submit(const Request& req, const JobOptions& jopts = {});
+
+  /// Graceful drain: stops accepting submits, completes every already
+  /// accepted job (queued jobs still honor their deadlines), publishes
+  /// serve.* counters into the attached tracer, and joins the
+  /// dispatcher.  Idempotent and safe to call concurrently.
+  void shutdown();
+
+  ServerStats stats() const;
+  unsigned threads() const;
+  const ServerOptions& options() const;
+
+  /// Attaches an obs::Tracer (nullptr detaches).  Only while quiescent
+  /// (no jobs in flight): rings are single-producer and the histogram
+  /// registry is not thread-safe.  Give the tracer threads() rings.
+  void set_tracer(obs::Tracer* tracer);
+
+  /// Attaches schedule-chaos fault injection to the shared pool (see
+  /// WorkStealingPool::set_fault_plan).  Legal-schedule perturbations
+  /// only: served results are unchanged.
+  void set_fault_plan(fault::FaultPlan* plan);
+
+ private:
+  std::shared_ptr<detail::Core> core_;
+};
+
+}  // namespace obliv::serve

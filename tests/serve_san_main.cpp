@@ -1,0 +1,249 @@
+// Standalone sanitizer smoke for the serving front-end (src/serve).
+//
+// Built under TSan and ASan by tests/CMakeLists.txt (serve_tsan /
+// serve_asan): the server's admission queue, dispatcher hand-off, job
+// completion handshake, and drain paths are the newest cross-thread
+// machinery in the tree, so every ctest run sweeps them for data races
+// (client threads vs dispatcher vs workers) and leaks / use-after-frees
+// (handles outliving servers, destroy-while-jobs-inflight).  No gtest:
+// the sanitizer runtime is the checker; the scenario asserts only keep
+// the workload honest.  Mirrors tsan_sched_main.cpp.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "obs/trace.hpp"
+#include "serve/serve.hpp"
+#include "util/rng.hpp"
+
+namespace obliv::serve {
+namespace {
+
+int failures = 0;
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAILED: %s\n", what);
+    ++failures;
+  }
+}
+
+sched::NatRef<std::uint64_t> ref_of(std::vector<std::uint64_t>& v) {
+  return sched::NatRef<std::uint64_t>(v.data(), v.size());
+}
+
+/// Client buffers for one sort job, kept alive past server destruction.
+struct SortJob {
+  std::vector<std::uint64_t> keys;
+  JobHandle handle;
+};
+
+SortJob make_sort_job(util::Xoshiro256& rng, std::size_t max_n = 2048) {
+  SortJob j;
+  j.keys.resize(1 + rng.below(max_n));
+  for (auto& x : j.keys) x = rng();
+  return j;
+}
+
+/// Many clients submitting concurrently, all jobs waited and verified.
+void submit_storm() {
+  ServerOptions o;
+  o.threads = 4;
+  o.space_budget_words = 1 << 14;  // force queuing pressure
+  o.queue_capacity = 256;
+  Server srv(o);
+  std::vector<std::thread> clients;
+  std::atomic<int> sorted{0};
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      util::Xoshiro256 rng(1000 + std::uint64_t(c));
+      std::vector<SortJob> mine;
+      mine.reserve(16);
+      for (int i = 0; i < 16; ++i) {
+        mine.push_back(make_sort_job(rng));
+        auto r = srv.submit(SortRequest{ref_of(mine.back().keys)});
+        check(r.ok(), "submit_storm: submit accepted");
+        if (r.ok()) mine.back().handle = r.value();
+      }
+      for (auto& j : mine) {
+        if (!j.handle.valid()) continue;
+        check(j.handle.wait().ok(), "submit_storm: job ok");
+        if (std::is_sorted(j.keys.begin(), j.keys.end())) {
+          sorted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  check(sorted.load() == 4 * 16, "submit_storm: all results sorted");
+  const ServerStats st = srv.stats();
+  check(st.space_peak_words <= st.space_budget_words,
+        "submit_storm: space budget respected");
+}
+
+/// Cancels race admission from a second thread per client.
+void cancel_storm() {
+  ServerOptions o;
+  o.threads = 2;
+  o.space_budget_words = 1 << 13;
+  o.queue_capacity = 512;
+  Server srv(o);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      util::Xoshiro256 rng(2000 + std::uint64_t(c));
+      std::vector<SortJob> mine;
+      std::vector<JobHandle> to_cancel;
+      for (int i = 0; i < 24; ++i) {
+        mine.push_back(make_sort_job(rng, 1024));
+        auto r = srv.submit(SortRequest{ref_of(mine.back().keys)});
+        if (!r.ok()) continue;
+        mine.back().handle = r.value();
+        if (i % 2 == 0) to_cancel.push_back(r.value());
+      }
+      // Second thread races the dispatcher for the queued entries.
+      std::thread canceller([&to_cancel] {
+        for (auto& h : to_cancel) h.cancel();
+      });
+      canceller.join();
+      for (auto& j : mine) {
+        if (!j.handle.valid()) continue;
+        const Status s = j.handle.wait();
+        check(s.ok() || s.code() == ErrorCode::kCancelled,
+              "cancel_storm: typed outcome");
+        if (s.ok()) {
+          check(std::is_sorted(j.keys.begin(), j.keys.end()),
+                "cancel_storm: ran jobs sorted");
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+}
+
+/// shutdown() races live submitters; handles must resolve either way.
+void shutdown_storm() {
+  for (int round = 0; round < 8; ++round) {
+    ServerOptions o;
+    o.threads = 2;
+    Server srv(o);
+    std::vector<std::thread> clients;
+    std::vector<std::vector<SortJob>> jobs(2);
+    for (int c = 0; c < 2; ++c) {
+      clients.emplace_back([&, c] {
+        util::Xoshiro256 rng(3000 + std::uint64_t(round) * 17 +
+                             std::uint64_t(c));
+        for (int i = 0; i < 8; ++i) {
+          jobs[c].push_back(make_sort_job(rng, 512));
+          auto r = srv.submit(SortRequest{ref_of(jobs[c].back().keys)});
+          if (r.ok()) {
+            jobs[c].back().handle = r.value();
+          } else {
+            check(r.status().code() == ErrorCode::kUnavailable,
+                  "shutdown_storm: rejection is kUnavailable");
+            jobs[c].pop_back();
+          }
+        }
+      });
+    }
+    if (round % 2 == 0) std::this_thread::yield();
+    srv.shutdown();
+    for (auto& t : clients) t.join();
+    for (auto& mine : jobs) {
+      for (auto& j : mine) {
+        check(j.handle.wait().ok(), "shutdown_storm: accepted job drained");
+      }
+    }
+  }
+}
+
+/// ~Server with jobs still in flight: the drain inside the destructor
+/// must complete them, and handles kept past the scope stay usable
+/// (ASan: no use-after-free on the shared core).
+void destroy_while_inflight() {
+  util::Xoshiro256 rng(4000);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<SortJob> jobs;
+    {
+      ServerOptions o;
+      o.threads = 2;
+      o.space_budget_words = 1 << 13;
+      Server srv(o);
+      for (int i = 0; i < 12; ++i) {
+        jobs.push_back(make_sort_job(rng, 1024));
+        auto r = srv.submit(SortRequest{ref_of(jobs.back().keys)});
+        check(r.ok(), "destroy_while_inflight: submit accepted");
+        if (r.ok()) jobs.back().handle = r.value();
+      }
+    }  // destructor drains with most jobs still queued or running
+    for (auto& j : jobs) {
+      if (!j.handle.valid()) continue;
+      check(j.handle.wait().ok(), "destroy_while_inflight: job completed");
+      check(std::is_sorted(j.keys.begin(), j.keys.end()),
+            "destroy_while_inflight: result sorted");
+    }
+  }
+}
+
+/// Full-instrumentation pass: tracer attached and schedule chaos active
+/// while multiple clients run — the emission paths (per-worker rings,
+/// relaxed histogram counters) are what TSan vets here.
+void traced_chaos_storm() {
+  fault::FaultPlan plan(0xBEEF, fault::FaultOptions::chaos());
+  ServerOptions o;
+  o.threads = 4;
+  o.space_budget_words = 1 << 14;
+  obs::Tracer tracer(o.threads, 1 << 12);
+  {
+    Server srv(o);
+    srv.set_tracer(&tracer);
+    srv.set_fault_plan(&plan);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 3; ++c) {
+      clients.emplace_back([&, c] {
+        util::Xoshiro256 rng(5000 + std::uint64_t(c));
+        std::vector<SortJob> mine;
+        for (int i = 0; i < 12; ++i) {
+          mine.push_back(make_sort_job(rng, 1024));
+          auto r = srv.submit(SortRequest{ref_of(mine.back().keys)});
+          check(r.ok(), "traced_chaos_storm: submit accepted");
+          if (r.ok()) mine.back().handle = r.value();
+        }
+        for (auto& j : mine) {
+          if (j.handle.valid()) {
+            check(j.handle.wait().ok(), "traced_chaos_storm: job ok");
+          }
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    srv.shutdown();
+    srv.set_fault_plan(nullptr);
+  }
+  check(plan.decisions() > 0, "traced_chaos_storm: chaos engaged");
+  check(tracer.counters().value("serve.jobs_completed_ok") == 3 * 12,
+        "traced_chaos_storm: all jobs in counters");
+}
+
+}  // namespace
+}  // namespace obliv::serve
+
+int main() {
+  obliv::serve::submit_storm();
+  obliv::serve::cancel_storm();
+  obliv::serve::shutdown_storm();
+  obliv::serve::destroy_while_inflight();
+  obliv::serve::traced_chaos_storm();
+  if (obliv::serve::failures != 0) {
+    std::fprintf(stderr, "%d serve smoke failure(s)\n",
+                 obliv::serve::failures);
+    return 1;
+  }
+  std::printf("serve sanitizer smoke: all scenarios clean\n");
+  return 0;
+}

@@ -1,0 +1,476 @@
+// Tier-1 tests for the serving front-end (src/serve).
+//
+// The load-bearing property is *parity*: a job served through the
+// admission queue and the shared pool must be bit-identical to the same
+// algorithm invoked directly on a NativeExecutor — the serving layer may
+// change scheduling, never results (the PR 5 schedule-obliviousness
+// property lifted to the job level).  The rest covers the typed error
+// surface: malformed requests, expired deadlines, cancellation,
+// queue-full rejection, and drain-on-shutdown semantics.
+#include "serve/serve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <complex>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "algo/fft.hpp"
+#include "algo/gep.hpp"
+#include "algo/graphgen.hpp"
+#include "algo/listrank.hpp"
+#include "algo/scan.hpp"
+#include "algo/sort.hpp"
+#include "algo/spmdv.hpp"
+#include "algo/transpose.hpp"
+#include "obs/analysis.hpp"
+#include "obs/trace.hpp"
+#include "sched/native_executor.hpp"
+#include "sched/views.hpp"
+#include "util/rng.hpp"
+
+namespace obliv::serve {
+namespace {
+
+using sched::NatRef;
+
+/// Bitwise equality — parity means identical representations, so NaN-safe
+/// and rounding-mode-proof, unlike operator== on doubles.
+template <class T>
+bool bits_equal(const std::vector<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+template <class T>
+NatRef<T> ref_of(std::vector<T>& v) {
+  return NatRef<T>(v.data(), v.size());
+}
+
+ServerOptions small_server() {
+  ServerOptions o;
+  o.threads = 2;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Parity: served == direct, bit for bit, for all seven families
+// ---------------------------------------------------------------------------
+
+TEST(ServeParity, ScanMatchesDirect) {
+  const std::size_t n = 10000;
+  util::Xoshiro256 rng(101);
+  std::vector<std::int64_t> direct(n), served;
+  for (auto& x : direct) x = std::int64_t(rng()) % 1000;
+  served = direct;
+
+  sched::NativeExecutor ex(2);
+  algo::mo_prefix_sum(ex, ref_of(direct));
+
+  Server srv(small_server());
+  auto h = srv.submit(ScanRequest{ref_of(served)});
+  ASSERT_TRUE(h.ok()) << h.status().message();
+  EXPECT_TRUE(h.value().wait().ok());
+  EXPECT_TRUE(bits_equal(direct, served));
+}
+
+TEST(ServeParity, SortMatchesDirect) {
+  const std::size_t n = 20000;
+  util::Xoshiro256 rng(202);
+  std::vector<std::uint64_t> direct(n), served;
+  for (auto& x : direct) x = rng();
+  served = direct;
+
+  sched::NativeExecutor ex(2);
+  algo::spms_sort(ex, ref_of(direct));
+
+  Server srv(small_server());
+  auto h = srv.submit(SortRequest{ref_of(served)});
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(h.value().wait().ok());
+  EXPECT_TRUE(bits_equal(direct, served));
+  EXPECT_TRUE(std::is_sorted(served.begin(), served.end()));
+}
+
+TEST(ServeParity, FftMatchesDirect) {
+  const std::size_t n = 1 << 12;
+  util::Xoshiro256 rng(303);
+  std::vector<algo::cplx> direct(n), served;
+  for (auto& x : direct) x = algo::cplx(rng.uniform() - 0.5, rng.uniform());
+  served = direct;
+
+  sched::NativeExecutor ex(2);
+  algo::mo_fft(ex, ref_of(direct));
+
+  Server srv(small_server());
+  auto h = srv.submit(FftRequest{ref_of(served)});
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(h.value().wait().ok());
+  EXPECT_TRUE(bits_equal(direct, served));
+}
+
+TEST(ServeParity, TransposeMatchesDirect) {
+  const std::uint64_t n = 64;
+  util::Xoshiro256 rng(404);
+  std::vector<double> in(n * n);
+  for (auto& x : in) x = rng.uniform();
+  std::vector<double> direct(n * n, -1.0), served(n * n, -1.0);
+
+  sched::NativeExecutor ex(2);
+  algo::mo_transpose(ex, ref_of(in), ref_of(direct), n);
+
+  Server srv(small_server());
+  auto h = srv.submit(TransposeRequest{ref_of(in), ref_of(served), n});
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(h.value().wait().ok());
+  EXPECT_TRUE(bits_equal(direct, served));
+}
+
+TEST(ServeParity, GepMatchesDirect) {
+  const std::uint64_t n = 48;
+  util::Xoshiro256 rng(505);
+  std::vector<double> direct(n * n), served;
+  for (auto& x : direct) x = rng.uniform() * 10.0;
+  served = direct;
+
+  sched::NativeExecutor ex(2);
+  using Mat = sched::MatView<NatRef<double>>;
+  algo::igep<algo::FloydWarshallInstance>(ex,
+                                          Mat::full(ref_of(direct), n, n));
+
+  Server srv(small_server());
+  auto h = srv.submit(GepRequest{ref_of(served), n});
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(h.value().wait().ok());
+  EXPECT_TRUE(bits_equal(direct, served));
+}
+
+TEST(ServeParity, ListRankMatchesDirect) {
+  const std::uint64_t n = 4000;
+  // Random-memory-order list: perm[t] is the t-th node.
+  std::vector<std::uint64_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  util::Xoshiro256 rng(606);
+  for (std::uint64_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.below(i)]);
+  }
+  std::vector<std::uint64_t> succ(n, algo::kNil), pred(n, algo::kNil);
+  for (std::uint64_t t = 0; t + 1 < n; ++t) {
+    succ[perm[t]] = perm[t + 1];
+    pred[perm[t + 1]] = perm[t];
+  }
+  std::vector<std::uint64_t> d_succ = succ, d_pred = pred, d_dist(n, 0);
+  std::vector<std::uint64_t> s_succ = succ, s_pred = pred, s_dist(n, 0);
+
+  sched::NativeExecutor ex(2);
+  algo::mo_list_rank(ex, ref_of(d_succ), ref_of(d_pred), ref_of(d_dist));
+
+  Server srv(small_server());
+  auto h = srv.submit(
+      ListRankRequest{ref_of(s_succ), ref_of(s_pred), ref_of(s_dist)});
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(h.value().wait().ok());
+  EXPECT_TRUE(bits_equal(d_dist, s_dist));
+  for (std::uint64_t t = 0; t < n; ++t) {
+    EXPECT_EQ(s_dist[perm[t]], n - 1 - t);
+  }
+}
+
+TEST(ServeParity, SpmdvMatchesDirect) {
+  const std::uint64_t side = 24;
+  algo::SparseMatrix a = algo::grid_matrix(side);
+  util::Xoshiro256 rng(707);
+  std::vector<double> x(a.n);
+  for (auto& v : x) v = rng.uniform() - 0.5;
+  std::vector<double> direct(a.n, 0.0), served(a.n, 0.0);
+  std::vector<algo::SpmEntry> av = a.av;
+  std::vector<std::uint64_t> a0 = a.a0;
+
+  sched::NativeExecutor ex(2);
+  algo::mo_spmdv(ex, ref_of(av), ref_of(a0), ref_of(x), ref_of(direct));
+
+  Server srv(small_server());
+  auto h = srv.submit(
+      SpmdvRequest{ref_of(av), ref_of(a0), ref_of(x), ref_of(served)});
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(h.value().wait().ok());
+  EXPECT_TRUE(bits_equal(direct, served));
+}
+
+TEST(ServeParity, ZeroSizeRequestsCompleteOk) {
+  Server srv(small_server());
+  std::vector<std::int64_t> empty_i64;
+  std::vector<std::uint64_t> empty_u64;
+  std::vector<algo::cplx> empty_cplx;
+  std::vector<JobHandle> hs;
+  auto push = [&](Result<JobHandle> r) {
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    hs.push_back(r.value());
+  };
+  push(srv.submit(ScanRequest{ref_of(empty_i64)}));
+  push(srv.submit(SortRequest{ref_of(empty_u64)}));
+  push(srv.submit(FftRequest{ref_of(empty_cplx)}));
+  for (auto& h : hs) EXPECT_TRUE(h.wait().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Typed error surface
+// ---------------------------------------------------------------------------
+
+TEST(ServeErrors, MalformedRequestsRejectedTyped) {
+  Server srv(small_server());
+
+  std::vector<algo::cplx> odd(100);  // not a power of two
+  auto r1 = srv.submit(FftRequest{ref_of(odd)});
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), ErrorCode::kInvalidArgument);
+
+  std::vector<double> m(16 * 16);
+  auto r2 = srv.submit(TransposeRequest{ref_of(m), ref_of(m), 16});
+  ASSERT_FALSE(r2.ok());  // aliased in/out
+  EXPECT_EQ(r2.status().code(), ErrorCode::kInvalidArgument);
+
+  auto r3 = srv.submit(GepRequest{ref_of(m), 32});  // view shorter than n*n
+  ASSERT_FALSE(r3.ok());
+  EXPECT_EQ(r3.status().code(), ErrorCode::kInvalidArgument);
+
+  std::vector<std::uint64_t> a(8, algo::kNil), b(7, algo::kNil);
+  auto r4 = srv.submit(ListRankRequest{ref_of(a), ref_of(b), ref_of(a)});
+  ASSERT_FALSE(r4.ok());  // mismatched lengths
+  EXPECT_EQ(r4.status().code(), ErrorCode::kInvalidArgument);
+
+  std::vector<algo::SpmEntry> av(4);
+  std::vector<std::uint64_t> a0 = {0, 2, 9};  // end offset beyond av
+  std::vector<double> x(2), y(2);
+  auto r5 = srv.submit(
+      SpmdvRequest{ref_of(av), ref_of(a0), ref_of(x), ref_of(y)});
+  ASSERT_FALSE(r5.ok());
+  EXPECT_EQ(r5.status().code(), ErrorCode::kInvalidArgument);
+
+  // A view that is null but claims length.
+  auto r6 = srv.submit(ScanRequest{NatRef<std::int64_t>(nullptr, 8)});
+  ASSERT_FALSE(r6.ok());
+  EXPECT_EQ(r6.status().code(), ErrorCode::kInvalidArgument);
+
+  EXPECT_EQ(srv.stats().rejected, 6u);
+}
+
+TEST(ServeErrors, OversizedRequestRejectedAtSubmit) {
+  ServerOptions o = small_server();
+  o.space_budget_words = 1024;
+  Server srv(o);
+  std::vector<std::uint64_t> big(1000);  // sort estimate 4000 > 1024
+  auto r = srv.submit(SortRequest{ref_of(big)});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(ServeErrors, ExpiredDeadlineCompletesWithoutRunning) {
+  Server srv(small_server());
+  std::vector<std::int64_t> data(1000, 7);
+  const std::vector<std::int64_t> before = data;
+  JobOptions jo;
+  jo.deadline = std::chrono::steady_clock::now() -
+                std::chrono::milliseconds(1);
+  auto r = srv.submit(ScanRequest{ref_of(data)}, jo);
+  ASSERT_TRUE(r.ok());  // accepted: expiry is the dispatcher's call
+  const Status s = r.value().wait();  // must return, not hang
+  EXPECT_EQ(s.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_TRUE(bits_equal(before, data));  // never touched the buffer
+  EXPECT_EQ(srv.stats().deadline_exceeded, 1u);
+}
+
+TEST(ServeErrors, CancelSemantics) {
+  // Budget sized exactly to job A, so B must wait in the queue while A
+  // runs — the window in which cancel() is specified to succeed.
+  const std::size_t na = 1 << 15;
+  ServerOptions o = small_server();
+  o.space_budget_words = 4 * na;
+  Server srv(o);
+
+  std::vector<std::uint64_t> a(na);
+  util::Xoshiro256 rng(808);
+  for (auto& x : a) x = rng();
+  std::vector<std::int64_t> b(512, 3);
+  const std::vector<std::int64_t> b_before = b;
+
+  auto ha = srv.submit(SortRequest{ref_of(a)});
+  ASSERT_TRUE(ha.ok());
+  auto hb = srv.submit(ScanRequest{ref_of(b)});
+  ASSERT_TRUE(hb.ok());
+
+  JobHandle jb = hb.value();
+  const bool cancelled = jb.cancel();
+  const Status sb = jb.wait();
+  if (cancelled) {
+    EXPECT_EQ(sb.code(), ErrorCode::kCancelled);
+    EXPECT_TRUE(bits_equal(b_before, b));  // never ran
+    EXPECT_EQ(srv.stats().cancelled, 1u);
+  } else {
+    // Lost the race: B already started, so it must have run normally.
+    EXPECT_TRUE(sb.ok());
+  }
+  EXPECT_TRUE(ha.value().wait().ok());
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+
+  // Cancelling a finished job is a no-op.
+  EXPECT_FALSE(jb.cancel());
+}
+
+TEST(ServeErrors, QueueFullRejectionIsTyped) {
+  // One-at-a-time budget and a single waiting slot: a burst of submits
+  // must overflow the queue, and every overflow must be a typed
+  // kResourceExhausted (never a hang or a crash).
+  const std::size_t n = 1 << 14;
+  ServerOptions o = small_server();
+  o.space_budget_words = 4 * n;
+  o.queue_capacity = 1;
+  Server srv(o);
+
+  std::vector<std::vector<std::uint64_t>> bufs;
+  util::Xoshiro256 rng(909);
+  for (int i = 0; i < 8; ++i) {
+    bufs.emplace_back(n);
+    for (auto& x : bufs.back()) x = rng();
+  }
+  std::size_t ok = 0, rejected = 0;
+  std::vector<JobHandle> hs;
+  for (auto& buf : bufs) {
+    auto r = srv.submit(SortRequest{ref_of(buf)});
+    if (r.ok()) {
+      ++ok;
+      hs.push_back(r.value());
+    } else {
+      ++rejected;
+      EXPECT_EQ(r.status().code(), ErrorCode::kResourceExhausted);
+    }
+  }
+  EXPECT_EQ(ok + rejected, bufs.size());
+  EXPECT_GE(ok, 1u);
+  for (auto& h : hs) EXPECT_TRUE(h.wait().ok());
+  for (std::size_t i = 0, k = 0; i < bufs.size(); ++i) {
+    if (k < hs.size() && std::is_sorted(bufs[i].begin(), bufs[i].end())) ++k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Drain / shutdown
+// ---------------------------------------------------------------------------
+
+TEST(ServeShutdown, DrainCompletesAdmittedAndRejectsNew) {
+  Server srv(small_server());
+  std::vector<std::vector<std::uint64_t>> bufs;
+  std::vector<JobHandle> hs;
+  util::Xoshiro256 rng(111);
+  for (int i = 0; i < 4; ++i) {
+    bufs.emplace_back(4096);
+    for (auto& x : bufs.back()) x = rng();
+    auto r = srv.submit(SortRequest{ref_of(bufs.back())});
+    ASSERT_TRUE(r.ok());
+    hs.push_back(r.value());
+  }
+  srv.shutdown();  // graceful: every accepted job completes
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    EXPECT_TRUE(hs[i].wait().ok());
+    EXPECT_TRUE(std::is_sorted(bufs[i].begin(), bufs[i].end()));
+  }
+  std::vector<std::uint64_t> late(16);
+  auto r = srv.submit(SortRequest{ref_of(late)});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kUnavailable);
+
+  srv.shutdown();  // idempotent
+  const ServerStats st = srv.stats();
+  EXPECT_EQ(st.submitted, 4u);
+  EXPECT_EQ(st.completed_ok, 4u);
+  EXPECT_EQ(st.rejected, 1u);
+}
+
+TEST(ServeShutdown, HandleOutlivesServer) {
+  std::vector<std::uint64_t> buf(2048);
+  util::Xoshiro256 rng(222);
+  for (auto& x : buf) x = rng();
+  JobHandle h;
+  {
+    Server srv(small_server());
+    auto r = srv.submit(SortRequest{ref_of(buf)});
+    ASSERT_TRUE(r.ok());
+    h = r.value();
+  }  // ~Server drains
+  EXPECT_TRUE(h.wait().ok());
+  EXPECT_TRUE(std::is_sorted(buf.begin(), buf.end()));
+}
+
+// ---------------------------------------------------------------------------
+// Observability: job lane events + published counters
+// ---------------------------------------------------------------------------
+
+TEST(ServeObs, JobLaneEventsAndCounters) {
+  if (!obs::kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  ServerOptions o = small_server();
+  obs::Tracer tracer(o.threads == 0 ? 2 : o.threads, 1 << 12);
+  Server srv(o);
+  srv.set_tracer(&tracer);
+
+  std::vector<std::vector<std::uint64_t>> bufs;
+  std::vector<JobHandle> hs;
+  util::Xoshiro256 rng(333);
+  for (int i = 0; i < 3; ++i) {
+    bufs.emplace_back(4096);
+    for (auto& x : bufs.back()) x = rng();
+    auto r = srv.submit(SortRequest{ref_of(bufs.back())});
+    ASSERT_TRUE(r.ok());
+    hs.push_back(r.value());
+  }
+  for (auto& h : hs) EXPECT_TRUE(h.wait().ok());
+  srv.shutdown();
+
+  EXPECT_EQ(tracer.events_dropped(), 0u);
+  std::size_t admits = 0, begins = 0, ends = 0;
+  for (std::uint32_t r = 0; r < tracer.ring_count(); ++r) {
+    tracer.ring(r).for_each([&](const obs::Event& e) {
+      if (e.kind == obs::EventKind::kJobAdmit) ++admits;
+      if (e.kind == obs::EventKind::kJobBegin) ++begins;
+      if (e.kind == obs::EventKind::kJobEnd) {
+        ++ends;
+        EXPECT_EQ(e.tid, obs::kServeLane);
+        EXPECT_EQ(e.detail, std::uint8_t(Family::kSort));
+        EXPECT_EQ(e.c, std::uint64_t(ErrorCode::kOk));
+      }
+    });
+  }
+  EXPECT_EQ(admits, 3u);
+  EXPECT_EQ(begins, 3u);
+  EXPECT_EQ(ends, 3u);
+
+  const obs::CounterRegistry& c = tracer.counters();
+  EXPECT_EQ(c.value("serve.jobs_submitted"), 3u);
+  EXPECT_EQ(c.value("serve.jobs_completed_ok"), 3u);
+  EXPECT_EQ(c.value("serve.space_budget_words"), o.space_budget_words);
+  EXPECT_GT(c.value("serve.space_peak_words"), 0u);
+  EXPECT_LE(c.value("serve.space_peak_words"), o.space_budget_words);
+  const obs::Histogram* wh = c.find_histogram("serve.job.wait_ns");
+  const obs::Histogram* rh = c.find_histogram("serve.job.run_ns");
+  ASSERT_NE(wh, nullptr);
+  ASSERT_NE(rh, nullptr);
+  EXPECT_EQ(wh->count(), 3u);
+  EXPECT_EQ(rh->count(), 3u);
+}
+
+TEST(ServeObs, SpaceEstimatesMatchDocumentedBounds) {
+  std::vector<std::int64_t> i64(10);
+  std::vector<std::uint64_t> u64(10);
+  std::vector<algo::cplx> cx(8);
+  EXPECT_EQ(space_estimate_words(Request(ScanRequest{ref_of(i64)})), 20u);
+  EXPECT_EQ(space_estimate_words(Request(SortRequest{ref_of(u64)})), 40u);
+  EXPECT_EQ(space_estimate_words(Request(FftRequest{ref_of(cx)})), 48u);
+  EXPECT_EQ(family_name(Family::kScan), "scan");
+  EXPECT_EQ(family_name(Family::kSpmdv), "spmdv");
+}
+
+}  // namespace
+}  // namespace obliv::serve

@@ -1,0 +1,341 @@
+// Deterministic multi-client fuzz for the serving front-end.
+//
+// Four producer threads submit seeded randomized job mixes (scan, sort,
+// transpose, list ranking) to one server whose pool runs under a chaos
+// FaultPlan (schedule perturbations: forced stalls, skewed steal victims,
+// dropped wakeups).  The invariants checked:
+//
+//   1. Every accepted job completes exactly once, with a typed outcome —
+//      kOk (result matches an independently computed serial reference),
+//      kCancelled, or kDeadlineExceeded (buffers untouched in both).
+//   2. Admission never exceeds the space budget: the serve.space_peak_words
+//      counter published at drain stays <= serve.space_budget_words.
+//   3. No starvation: every producer's wait() calls return within the
+//      tier-1 test timeout with a fixed seed (FIFO head-only admission
+//      means no job can be overtaken indefinitely).
+//   4. A sim-executor golden workload running concurrently with the storm
+//      reproduces its pre-storm counters bit-for-bit — native serving and
+//      the deterministic simulator do not share mutable state
+//      (golden_workloads.hpp reuse).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "algo/listrank.hpp"
+#include "fault/fault.hpp"
+#include "golden_workloads.hpp"
+#include "hm/config.hpp"
+#include "obs/trace.hpp"
+#include "serve/serve.hpp"
+#include "util/rng.hpp"
+
+namespace obliv::serve {
+namespace {
+
+using sched::NatRef;
+
+template <class T>
+NatRef<T> ref_of(std::vector<T>& v) {
+  return NatRef<T>(v.data(), v.size());
+}
+
+template <class T>
+bool bits_equal(const std::vector<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+/// One producer-owned job: the live buffers, their pre-submit snapshot,
+/// the serially computed expected result, and the handle.
+struct ClientJob {
+  Family family = Family::kScan;
+  // Live buffers (what the server writes into).
+  std::vector<std::int64_t> i64;
+  std::vector<std::uint64_t> u64, succ, pred, dist;
+  std::vector<double> t_in, t_out;
+  std::uint64_t side = 0;
+  // Snapshots and references.
+  std::vector<std::int64_t> i64_before, i64_expect;
+  std::vector<std::uint64_t> u64_before, u64_expect, dist_expect;
+  std::vector<double> t_out_before, t_out_expect;
+
+  JobHandle handle;
+  bool tried_cancel = false;
+  bool cancel_won = false;
+  bool had_deadline = false;
+};
+
+ClientJob make_job(util::Xoshiro256& rng) {
+  ClientJob j;
+  switch (rng.below(4)) {
+    case 0: {  // scan
+      j.family = Family::kScan;
+      const std::size_t n = 1 + rng.below(4096);
+      j.i64.resize(n);
+      for (auto& x : j.i64) x = std::int64_t(rng.below(1000)) - 500;
+      j.i64_before = j.i64;
+      j.i64_expect = j.i64;
+      std::partial_sum(j.i64_expect.begin(), j.i64_expect.end(),
+                       j.i64_expect.begin());
+      break;
+    }
+    case 1: {  // sort
+      j.family = Family::kSort;
+      const std::size_t n = 1 + rng.below(4096);
+      j.u64.resize(n);
+      for (auto& x : j.u64) x = rng();
+      j.u64_before = j.u64;
+      j.u64_expect = j.u64;
+      std::sort(j.u64_expect.begin(), j.u64_expect.end());
+      break;
+    }
+    case 2: {  // transpose
+      j.family = Family::kTranspose;
+      j.side = std::uint64_t(1) << (2 + rng.below(4));  // 4..32
+      j.t_in.resize(j.side * j.side);
+      for (auto& x : j.t_in) x = rng.uniform();
+      j.t_out.assign(j.side * j.side, -7.0);
+      j.t_out_before = j.t_out;
+      j.t_out_expect.resize(j.side * j.side);
+      for (std::uint64_t r = 0; r < j.side; ++r) {
+        for (std::uint64_t c = 0; c < j.side; ++c) {
+          j.t_out_expect[c * j.side + r] = j.t_in[r * j.side + c];
+        }
+      }
+      break;
+    }
+    default: {  // list ranking over a random-memory-order list
+      j.family = Family::kListRank;
+      const std::uint64_t n = 1 + rng.below(2048);
+      std::vector<std::uint64_t> perm(n);
+      std::iota(perm.begin(), perm.end(), 0);
+      for (std::uint64_t i = n; i > 1; --i) {
+        std::swap(perm[i - 1], perm[rng.below(i)]);
+      }
+      j.succ.assign(n, algo::kNil);
+      j.pred.assign(n, algo::kNil);
+      j.dist.assign(n, 0);
+      j.dist_expect.assign(n, 0);
+      for (std::uint64_t t = 0; t < n; ++t) {
+        j.dist_expect[perm[t]] = n - 1 - t;
+        if (t + 1 < n) {
+          j.succ[perm[t]] = perm[t + 1];
+          j.pred[perm[t + 1]] = perm[t];
+        }
+      }
+      break;
+    }
+  }
+  return j;
+}
+
+Request request_of(ClientJob& j) {
+  switch (j.family) {
+    case Family::kScan: return ScanRequest{ref_of(j.i64)};
+    case Family::kSort: return SortRequest{ref_of(j.u64)};
+    case Family::kTranspose:
+      return TransposeRequest{ref_of(j.t_in), ref_of(j.t_out), j.side};
+    default:
+      return ListRankRequest{ref_of(j.succ), ref_of(j.pred),
+                             ref_of(j.dist)};
+  }
+}
+
+/// Checks one completed job's outcome against its reference.  Returns a
+/// failure description, or empty when consistent.
+std::string check_job(ClientJob& j) {
+  const Status s = j.handle.wait();
+  const Status s2 = j.handle.wait();  // exactly-once: observed twice,
+  if (s.code() != s2.code()) return "wait() not idempotent";
+  const bool ran = s.ok();
+  if (!ran && s.code() != ErrorCode::kCancelled &&
+      s.code() != ErrorCode::kDeadlineExceeded) {
+    return "unexpected status: " + std::string(error_code_name(s.code()));
+  }
+  if (s.code() == ErrorCode::kCancelled && !j.tried_cancel) {
+    return "kCancelled without a cancel() call";
+  }
+  if (s.code() == ErrorCode::kCancelled && !j.cancel_won) {
+    return "kCancelled but cancel() returned false";
+  }
+  if (j.cancel_won && s.code() != ErrorCode::kCancelled) {
+    return "cancel() returned true but status is not kCancelled";
+  }
+  if (s.code() == ErrorCode::kDeadlineExceeded && !j.had_deadline) {
+    return "kDeadlineExceeded without a deadline";
+  }
+  switch (j.family) {
+    case Family::kScan:
+      if (!bits_equal(j.i64, ran ? j.i64_expect : j.i64_before)) {
+        return "scan buffer mismatch";
+      }
+      break;
+    case Family::kSort:
+      if (!bits_equal(j.u64, ran ? j.u64_expect : j.u64_before)) {
+        return "sort buffer mismatch";
+      }
+      break;
+    case Family::kTranspose:
+      if (!bits_equal(j.t_out, ran ? j.t_out_expect : j.t_out_before)) {
+        return "transpose buffer mismatch";
+      }
+      break;
+    default:
+      if (ran && !bits_equal(j.dist, j.dist_expect)) {
+        return "listrank buffer mismatch";
+      }
+      break;
+  }
+  return "";
+}
+
+TEST(ServeConcurrency, SeededMultiClientStormUnderChaos) {
+  constexpr int kProducers = 4;
+  constexpr int kJobsPerProducer = 24;
+  constexpr std::uint64_t kSeed = 0xC0FFEE;
+
+  // Plan outlives the server; chaos perturbs only which legal schedule
+  // runs, so every job that runs must still match its serial reference.
+  fault::FaultPlan plan(kSeed, fault::FaultOptions::chaos());
+
+  ServerOptions o;
+  o.threads = 4;
+  o.space_budget_words = std::uint64_t(1) << 16;  // forces real queuing
+  o.queue_capacity = kProducers * kJobsPerProducer;  // but no overflow
+  obs::Tracer tracer(o.threads, 1 << 15);
+
+  std::vector<std::vector<ClientJob>> jobs(kProducers);
+  {
+    Server srv(o);
+    srv.set_tracer(&tracer);
+    srv.set_fault_plan(&plan);
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        util::Xoshiro256 rng(kSeed + std::uint64_t(p) * 7919);
+        auto& mine = jobs[p];
+        mine.reserve(kJobsPerProducer);
+        for (int i = 0; i < kJobsPerProducer; ++i) {
+          mine.push_back(make_job(rng));
+          ClientJob& j = mine.back();
+          JobOptions jo;
+          if (rng.below(8) == 0) {
+            // A tight start deadline: legal outcomes are kOk (started in
+            // time) or kDeadlineExceeded (swept while queued).
+            j.had_deadline = true;
+            jo.deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(rng.below(2000));
+          }
+          auto r = srv.submit(request_of(j), jo);
+          ASSERT_TRUE(r.ok()) << r.status().message();
+          j.handle = r.value();
+          if (rng.below(4) == 0) {
+            j.tried_cancel = true;
+            j.cancel_won = j.handle.cancel();
+          }
+        }
+        // Starvation check: every handle must resolve while the storm is
+        // still in flight elsewhere (bounded by the tier-1 timeout).
+        for (ClientJob& j : mine) j.handle.wait();
+      });
+    }
+
+    // Invariant 4: the deterministic simulator is unaffected by the
+    // native storm around it.
+    const golden::GoldenRun before =
+        golden::run_scan(hm::MachineConfig::shared_l2(4), 1024);
+    const golden::GoldenRun during =
+        golden::run_scan(hm::MachineConfig::shared_l2(4), 1024);
+    EXPECT_EQ(before.counts, during.counts);
+
+    for (auto& t : producers) t.join();
+    srv.shutdown();
+    srv.set_fault_plan(nullptr);
+
+    const ServerStats st = srv.stats();
+    EXPECT_EQ(st.submitted,
+              std::uint64_t(kProducers) * kJobsPerProducer);
+    EXPECT_EQ(st.failed, 0u);
+    EXPECT_EQ(st.rejected, 0u);
+    // Exactly-once accounting: each accepted job is counted under one
+    // terminal outcome.
+    EXPECT_EQ(st.completed_ok + st.cancelled + st.deadline_exceeded,
+              st.submitted);
+    EXPECT_LE(st.space_peak_words, st.space_budget_words);
+    EXPECT_GT(st.space_peak_words, 0u);
+  }
+
+  // Chaos actually engaged the scheduler's decision points.
+  EXPECT_GT(plan.decisions(), 0u);
+
+  // Invariant 2 from the published counters (what a monitoring pipeline
+  // would read), not just the in-process stats struct.
+  const obs::CounterRegistry& c = tracer.counters();
+  EXPECT_GT(c.value("serve.space_budget_words"), 0u);
+  EXPECT_LE(c.value("serve.space_peak_words"),
+            c.value("serve.space_budget_words"));
+
+  int completed = 0;
+  for (auto& mine : jobs) {
+    for (ClientJob& j : mine) {
+      const std::string err = check_job(j);
+      EXPECT_EQ(err, "") << family_name(j.family) << " job " << j.handle.id();
+      ++completed;
+    }
+  }
+  EXPECT_EQ(completed, kProducers * kJobsPerProducer);
+}
+
+TEST(ServeConcurrency, ConcurrentSubmitAndShutdownIsClean) {
+  // Producers race shutdown(): every submit either yields a handle that
+  // completes, or a typed kUnavailable rejection — never a hang or tear.
+  constexpr int kProducers = 3;
+  ServerOptions o;
+  o.threads = 2;
+  Server srv(o);
+
+  std::vector<std::vector<ClientJob>> jobs(kProducers);
+  std::vector<std::thread> producers;
+  std::atomic<int> unavailable{0};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      util::Xoshiro256 rng(555 + std::uint64_t(p));
+      for (int i = 0; i < 16; ++i) {
+        jobs[p].push_back(make_job(rng));
+        ClientJob& j = jobs[p].back();
+        auto r = srv.submit(request_of(j));
+        if (!r.ok()) {
+          EXPECT_EQ(r.status().code(), ErrorCode::kUnavailable);
+          unavailable.fetch_add(1);
+          jobs[p].pop_back();
+          continue;
+        }
+        j.handle = r.value();
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  srv.shutdown();
+  for (auto& t : producers) t.join();
+
+  for (auto& mine : jobs) {
+    for (ClientJob& j : mine) {
+      const std::string err = check_job(j);
+      EXPECT_EQ(err, "") << family_name(j.family);
+    }
+  }
+  const ServerStats st = srv.stats();
+  EXPECT_EQ(st.submitted, st.completed_ok + st.cancelled +
+                              st.deadline_exceeded);
+  EXPECT_EQ(st.rejected, std::uint64_t(unavailable.load()));
+}
+
+}  // namespace
+}  // namespace obliv::serve

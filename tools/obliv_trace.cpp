@@ -23,11 +23,13 @@
 //
 // Exit codes: 0 ok, 1 usage or I/O or malformed trace, 2 trace refused
 // because events were dropped.
+#include <algorithm>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -42,6 +44,7 @@
 #include "obs/analysis.hpp"
 #include "obs/trace.hpp"
 #include "sched/sim_executor.hpp"
+#include "serve/serve.hpp"
 #include "util/rng.hpp"
 
 using namespace obliv;
@@ -203,6 +206,64 @@ int usage() {
 // Modes
 // ---------------------------------------------------------------------------
 
+// Serve job-lane summary.  Traces recorded while a serve::Server was
+// attached carry kJobAdmit/kJobBegin/kJobEnd events (job seq in `a`,
+// Family in `detail`, wait/run ns in the begin/end `b`, ErrorCode in the
+// end `c`).  A served trace may contain *only* those events -- the sim DAG
+// analysis has nothing to chew on then, but the job lane is still worth a
+// report, so this prints independently of obs::analyze().
+bool print_serve_summary(const obs::TraceData& trace) {
+  struct FamilyStats {
+    std::uint64_t admitted = 0, completed = 0, ok = 0;
+    std::vector<std::uint64_t> wait_ns, run_ns;
+  };
+  std::map<std::uint8_t, FamilyStats> fams;
+  for (const obs::Event& e : trace.events) {
+    switch (e.kind) {
+      case obs::EventKind::kJobAdmit:
+        fams[e.detail].admitted++;
+        break;
+      case obs::EventKind::kJobBegin:
+        fams[e.detail].wait_ns.push_back(e.b);
+        break;
+      case obs::EventKind::kJobEnd: {
+        FamilyStats& fs = fams[e.detail];
+        fs.completed++;
+        if (e.c == 0) fs.ok++;
+        fs.run_ns.push_back(e.b);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (fams.empty()) return false;
+
+  auto p50 = [](std::vector<std::uint64_t>& v) -> double {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    return static_cast<double>(v[v.size() / 2]) / 1e3;
+  };
+  auto max_us = [](const std::vector<std::uint64_t>& v) -> double {
+    if (v.empty()) return 0.0;
+    return static_cast<double>(*std::max_element(v.begin(), v.end())) / 1e3;
+  };
+
+  std::printf("serve job lane\n");
+  std::printf("  %-10s %8s %8s %6s %12s %12s %12s %12s\n", "family", "admit",
+              "done", "ok", "wait p50 us", "wait max us", "run p50 us",
+              "run max us");
+  for (auto& [fam, fs] : fams) {
+    const auto f = static_cast<serve::Family>(fam);
+    std::printf("  %-10s %8" PRIu64 " %8" PRIu64 " %6" PRIu64
+                " %12.1f %12.1f %12.1f %12.1f\n",
+                std::string(serve::family_name(f)).c_str(), fs.admitted,
+                fs.completed, fs.ok, p50(fs.wait_ns), max_us(fs.wait_ns),
+                p50(fs.run_ns), max_us(fs.run_ns));
+  }
+  return true;
+}
+
 int report_all(const obs::TraceData& trace, const obs::AnalysisOptions& opts,
                std::string_view title_prefix) {
   if (trace.dropped_events != 0) {
@@ -217,6 +278,10 @@ int report_all(const obs::TraceData& trace, const obs::AnalysisOptions& opts,
   }
   auto runs = obs::analyze(trace, opts);
   if (!runs.ok()) {
+    // A trace recorded from a serve::Server has job-lane events but no sim
+    // task DAG; that is a complete, analyzable artifact in its own right,
+    // not an error.
+    if (print_serve_summary(trace)) return 0;
     std::fprintf(stderr, "obliv-trace: %s\n",
                  runs.status().message().c_str());
     return 1;
@@ -230,6 +295,8 @@ int report_all(const obs::TraceData& trace, const obs::AnalysisOptions& opts,
     std::fputs(obs::render_report(runs.value()[i], title).c_str(), stdout);
     if (i + 1 < runs.value().size()) std::fputs("\n", stdout);
   }
+  // Mixed traces (sim DAG + serve lane) get both reports.
+  print_serve_summary(trace);
   return 0;
 }
 
