@@ -29,6 +29,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -42,6 +43,7 @@
 #include "algo/transpose.hpp"
 #include "common.hpp"
 #include "obs/trace.hpp"
+#include "sched/cancel.hpp"
 #include "sched/native_executor.hpp"
 #include "serve/serve.hpp"
 #include "util/rng.hpp"
@@ -63,21 +65,25 @@ NatRef<T> ref_of(std::vector<T>& v) {
 // ---------------------------------------------------------------------------
 
 struct ServeRecord {
-  std::string bench;      ///< "serve:openloop" or "serve:off_check"
+  std::string bench;      ///< "serve:openloop", "serve:cancel", "serve:shed",
+                          ///< "serve:off_check", "serve:cancel_off_check"
   unsigned threads = 0;
-  double qps = 0;         ///< offered load (0 for the off_check row)
+  double qps = 0;         ///< offered load (0 for the off_check rows)
   std::uint64_t jobs = 0;
   std::uint64_t completed_ok = 0;
   std::uint64_t rejected = 0;
-  double p50_ms = 0, p99_ms = 0, p999_ms = 0;
+  std::uint64_t cancelled = 0;  ///< cancel row: jobs poisoned mid-flight
+  std::uint64_t shed = 0;       ///< shed row: admissions refused by overload
+  double p50_ms = 0, p99_ms = 0, p999_ms = 0;  ///< over ok jobs only
   double goodput_jps = 0;  ///< completed_ok / wall seconds
-  double overhead_pct = 0; ///< off_check only: served vs direct
-  double noise_pct = 0;    ///< off_check only: A/A pairing noise
+  double overhead_pct = 0; ///< off_check rows: wrapped vs direct
+  double noise_pct = 0;    ///< off_check rows: A/A pairing noise
 };
 
 class ServeRecorder {
  public:
-  explicit ServeRecorder(std::string path) : path_(std::move(path)) {}
+  ServeRecorder(std::string path, std::uint64_t seed)
+      : path_(std::move(path)), seed_(seed) {}
 
   void add(ServeRecord r) { records_.push_back(std::move(r)); }
 
@@ -88,6 +94,10 @@ class ServeRecorder {
       return false;
     }
     bench::write_json_env_header(out);
+    // Generator seed in the header (not per record): one seed drives every
+    // open-loop row of a run -- the reproduction knob, same convention as
+    // OBLIV_FAULT_SEED for the fault fuzzer.
+    out << "  \"seed\": " << seed_ << ",\n";
     out << "  \"records\": [\n";
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const ServeRecord& r = records_[i];
@@ -97,6 +107,8 @@ class ServeRecorder {
           << ", \"jobs\": " << r.jobs
           << ", \"completed_ok\": " << r.completed_ok
           << ", \"rejected\": " << r.rejected
+          << ", \"cancelled\": " << r.cancelled
+          << ", \"shed\": " << r.shed
           << ", \"p50_ms\": " << util::Table::fmt(r.p50_ms, "%.3f")
           << ", \"p99_ms\": " << util::Table::fmt(r.p99_ms, "%.3f")
           << ", \"p999_ms\": " << util::Table::fmt(r.p999_ms, "%.3f")
@@ -113,6 +125,7 @@ class ServeRecorder {
 
  private:
   std::string path_;
+  std::uint64_t seed_;
   std::vector<ServeRecord> records_;
 };
 
@@ -188,13 +201,23 @@ double pct_ms(std::vector<double>& lat_ns, double p) {
   return lat_ns[idx] / 1e6;
 }
 
+/// Knobs for the PR 10 rows: client-side cancellation pressure and
+/// server-side overload shedding layered onto the open-loop schedule.
+struct LoadShape {
+  std::uint64_t cancel_every = 0;      ///< cancel every k-th job (0 = off)
+  std::uint64_t shed_wait_p99_ns = 0;  ///< ServerOptions::shed_wait_p99_ns
+};
+
 /// One open-loop point: `jobs` requests offered at `qps`, latencies from
 /// *scheduled* submit time to observed completion.  Completions are
 /// observed by a collector thread waiting handles in submit order; with
 /// FIFO head-only admission jobs complete nearly in order, so the
-/// observation error is bounded by one job's service time.
+/// observation error is bounded by one job's service time.  Percentiles
+/// cover ok jobs only -- cancelled / condemned jobs complete early and
+/// would flatter the tail.
 ServeRecord run_open_loop(unsigned threads, double qps, std::size_t jobs,
-                          std::uint64_t seed, obs::Tracer* tracer = nullptr) {
+                          std::uint64_t seed, obs::Tracer* tracer = nullptr,
+                          const LoadShape& shape = {}) {
   util::Xoshiro256 rng(seed);
   std::vector<GenJob> gen;
   gen.reserve(jobs);
@@ -203,6 +226,7 @@ ServeRecord run_open_loop(unsigned threads, double qps, std::size_t jobs,
   serve::ServerOptions o;
   o.threads = threads;
   o.queue_capacity = jobs;  // rejections would hide queueing in the tail
+  o.shed_wait_p99_ns = shape.shed_wait_p99_ns;
   serve::Server srv(o);
   if (tracer != nullptr) srv.set_tracer(tracer);
 
@@ -218,29 +242,33 @@ ServeRecord run_open_loop(unsigned threads, double qps, std::size_t jobs,
   // the submit loop (waiting at the end would misread early completions).
   // `submitted` is the publish point for gen[i].handle.
   std::atomic<std::size_t> submitted{0};
+  std::vector<std::uint8_t> finished_ok(jobs, 0);
   std::thread collector([&] {
     for (std::size_t i = 0; i < jobs; ++i) {
       while (submitted.load(std::memory_order_acquire) <= i) {
         std::this_thread::yield();
       }
-      if (!gen[i].handle.valid()) continue;  // rejected at submit
-      gen[i].handle.wait();
+      if (!gen[i].handle.valid()) continue;  // rejected or shed at submit
+      finished_ok[i] = gen[i].handle.wait().ok() ? 1 : 0;
       lat_ns[i] = double(std::chrono::duration_cast<std::chrono::nanoseconds>(
                              Clock::now() - sched[i])
                              .count());
     }
   });
 
-  std::uint64_t rejected = 0;
   for (std::size_t i = 0; i < jobs; ++i) {
     std::this_thread::sleep_until(sched[i]);
     auto r = srv.submit(gen[i].request());
-    if (r.ok()) {
-      gen[i].handle = r.value();
-    } else {
-      ++rejected;
-    }
+    if (r.ok()) gen[i].handle = r.value();  // refusals land in stats()
     submitted.store(i + 1, std::memory_order_release);
+    // Client-side cancellation pressure: poison every k-th job right
+    // after submit, while it is still queued or freshly running.  (A
+    // deferred canceller thread loses every race on a fast host -- these
+    // jobs finish in ~0.1 ms -- and the row degenerates to openloop.)
+    if (shape.cancel_every > 0 && gen[i].handle.valid() &&
+        (i + 1) % shape.cancel_every == 0) {
+      gen[i].handle.cancel();
+    }
   }
   collector.join();
   const auto t_end = Clock::now();
@@ -250,7 +278,7 @@ ServeRecord run_open_loop(unsigned threads, double qps, std::size_t jobs,
   std::vector<double> lat;
   lat.reserve(jobs);
   for (std::size_t i = 0; i < jobs; ++i) {
-    if (gen[i].handle.valid()) lat.push_back(lat_ns[i]);
+    if (gen[i].handle.valid() && finished_ok[i]) lat.push_back(lat_ns[i]);
   }
   const double wall_s =
       double(std::chrono::duration_cast<std::chrono::nanoseconds>(t_end - t0)
@@ -258,12 +286,18 @@ ServeRecord run_open_loop(unsigned threads, double qps, std::size_t jobs,
       1e9;
 
   ServeRecord rec;
-  rec.bench = "serve:openloop";
+  rec.bench = shape.cancel_every > 0       ? "serve:cancel"
+              : shape.shed_wait_p99_ns > 0 ? "serve:shed"
+                                           : "serve:openloop";
   rec.threads = srv.threads();
   rec.qps = qps;
   rec.jobs = jobs;
   rec.completed_ok = st.completed_ok;
-  rec.rejected = rejected;
+  // Disjoint refusal classes: `rejected` is queue-capacity, `shed` is the
+  // overload controller.
+  rec.rejected = st.rejected;
+  rec.cancelled = st.cancelled;
+  rec.shed = st.shed;
   rec.p50_ms = pct_ms(lat, 50);
   rec.p99_ms = pct_ms(lat, 99);
   rec.p999_ms = pct_ms(lat, 99.9);
@@ -372,24 +406,123 @@ int serve_off_check(bool smoke, int reps) {
   return 0;
 }
 
+/// Paired-ratio measurement of the PR 10 poison-check plumbing on a job
+/// that is never cancelled: the same sort, direct on one executor, with
+/// and without a live (never-poisoned) CancelToken installed.  Isolates
+/// the per-fork/per-anchor token load from the serving-path costs that
+/// --serve-off-check already gates.
+Overhead measure_cancel_overhead(int reps) {
+  const std::size_t n = 1 << 15;
+  util::Xoshiro256 rng(4242);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& x : keys) x = rng();
+
+  serve::ServerOptions o;
+  sched::NativeExecutor ex(o.threads, o.sequential_grain_words,
+                           sched::SchedMode::kWorkSteal);
+  sched::CancelToken token;  // installed but never poisoned
+
+  std::vector<std::uint64_t> buf;
+  auto bare = [&] {
+    buf = keys;
+    algo::spms_sort(ex, ref_of(buf));
+  };
+  auto guarded = [&] {
+    buf = keys;
+    sched::ScopedCancelToken guard(&token);
+    algo::spms_sort(ex, ref_of(buf));
+  };
+  bare();
+  guarded();  // warm-up both paths
+
+  double best_bare = 0, best_guarded = 0;
+  std::vector<double> over_ratios, noise_ratios;
+  for (int r = 0; r < reps; ++r) {
+    double a, a2, b;
+    if (r % 2 == 0) {
+      a = bench::time_once_ns(bare);
+      a2 = bench::time_once_ns(bare);
+      b = bench::time_once_ns(guarded);
+    } else {
+      b = bench::time_once_ns(guarded);
+      a2 = bench::time_once_ns(bare);
+      a = bench::time_once_ns(bare);
+    }
+    over_ratios.push_back(b / a2);
+    noise_ratios.push_back(a / a2);
+    const double off = std::min(a, a2);
+    if (r == 0 || off < best_bare) best_bare = off;
+    if (r == 0 || b < best_guarded) best_guarded = b;
+  }
+  auto median = [](std::vector<double> v) {
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+  Overhead m;
+  m.direct_ns = best_bare;
+  m.served_ns = best_guarded;
+  m.noise_pct = 100.0 * std::abs(median(noise_ratios) - 1.0);
+  m.over_pct = 100.0 * (median(over_ratios) - 1.0);
+  return m;
+}
+
+/// `--cancel-off-check`: the cancellation plumbing must be free when
+/// unused -- gate <= max(5%, A/A + 1%) on uncancelled jobs, same
+/// statistics and re-measure policy as --serve-off-check.
+int cancel_off_check(bool smoke, int reps) {
+  bench::print_header("cancel-token overhead on uncancelled jobs");
+  std::printf("gate %s\n",
+              smoke ? "off (smoke)" : "on (<= max(5%, A/A noise + 1%))");
+  auto within = [smoke](const Overhead& m) {
+    return smoke || m.over_pct <= std::max(5.0, m.noise_pct + 1.0);
+  };
+  Overhead m = measure_cancel_overhead(reps);
+  bool ok = within(m);
+  if (!ok) {
+    m = measure_cancel_overhead(reps);
+    ok = within(m);
+  }
+  util::Table t({"path", "best ns/job", "A/A noise", "overhead"});
+  t.add_row({"no token", util::Table::fmt(m.direct_ns, "%.0f"), "", ""});
+  t.add_row({std::string("token installed") + (ok ? "" : "  <-- FAIL"),
+             util::Table::fmt(m.served_ns, "%.0f"),
+             util::Table::fmt(m.noise_pct, "%.2f%%"),
+             util::Table::fmt(m.over_pct, "%+.2f%%")});
+  t.print(std::cout);
+  if (!ok) {
+    std::printf("\nFAIL: cancel-check overhead exceeds the budget\n");
+    return 1;
+  }
+  std::printf("\nOK: cancel-check overhead within budget\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace obliv
 
 int main(int argc, char** argv) {
   const bool smoke = obliv::bench::smoke(argc, argv);
-  bool off_check = false;
+  bool off_check = false, cancel_check = false;
+  std::uint64_t seed = 0xD15C0;  // default kept from the PR 9 runs
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--serve-off-check") off_check = true;
+    const std::string_view arg(argv[i]);
+    if (arg == "--serve-off-check") off_check = true;
+    if (arg == "--cancel-off-check") cancel_check = true;
+    if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 0);
+    }
   }
   const int reps = smoke ? 5 : 15;
   if (off_check) return obliv::serve_off_check(smoke, reps);
+  if (cancel_check) return obliv::cancel_off_check(smoke, reps);
 
   obliv::bench::print_header("serve: open-loop latency under load");
-  std::printf("threads = %u, pinned = %s%s\n", obliv::bench::host_concurrency(),
+  std::printf("threads = %u, pinned = %s, seed = 0x%llx%s\n",
+              obliv::bench::host_concurrency(),
               obliv::bench::threads_pinned() ? "yes" : "no",
-              smoke ? " (smoke)" : "");
+              static_cast<unsigned long long>(seed), smoke ? " (smoke)" : "");
 
-  obliv::ServeRecorder json("BENCH_serve.json");
+  obliv::ServeRecorder json("BENCH_serve.json", seed);
   const auto qps_points = obliv::bench::sweep<double>(smoke, {100, 400, 800});
   const std::size_t jobs = smoke ? 80 : 600;
 
@@ -400,23 +533,42 @@ int main(int argc, char** argv) {
   obliv::obs::Tracer tracer(
       std::max(1u, obliv::bench::host_concurrency()) + 1);
 
-  obliv::util::Table t({"qps", "jobs", "ok", "p50 ms", "p99 ms", "p999 ms",
-                        "goodput j/s"});
-  bool traced = false;
-  for (double qps : qps_points) {
-    obliv::obs::Tracer* tr =
-        (!trace_out.empty() && !traced) ? &tracer : nullptr;
-    traced = traced || tr != nullptr;
-    obliv::ServeRecord r =
-        obliv::run_open_loop(/*threads=*/0, qps, jobs, /*seed=*/0xD15C0, tr);
-    t.add_row({obliv::util::Table::fmt(qps, "%.0f"), std::to_string(r.jobs),
-               std::to_string(r.completed_ok),
+  obliv::util::Table t({"row", "qps", "jobs", "ok", "cancel", "shed",
+                        "p50 ms", "p99 ms", "p999 ms", "goodput j/s"});
+  auto add_row = [&](const obliv::ServeRecord& r) {
+    t.add_row({r.bench.substr(r.bench.find(':') + 1),
+               obliv::util::Table::fmt(r.qps, "%.0f"), std::to_string(r.jobs),
+               std::to_string(r.completed_ok), std::to_string(r.cancelled),
+               std::to_string(r.shed),
                obliv::util::Table::fmt(r.p50_ms, "%.3f"),
                obliv::util::Table::fmt(r.p99_ms, "%.3f"),
                obliv::util::Table::fmt(r.p999_ms, "%.3f"),
                obliv::util::Table::fmt(r.goodput_jps, "%.1f")});
     json.add(r);
+  };
+  bool traced = false;
+  for (double qps : qps_points) {
+    obliv::obs::Tracer* tr =
+        (!trace_out.empty() && !traced) ? &tracer : nullptr;
+    traced = traced || tr != nullptr;
+    add_row(obliv::run_open_loop(/*threads=*/0, qps, jobs, seed, tr));
   }
+
+  // PR 10 rows: client cancellation pressure at the highest offered load
+  // (every 4th job poisoned at submit, a mix of queued and mid-run), then
+  // overload shedding.  The shed row must actually overload the server --
+  // at these job sizes capacity is ~10k jobs/s/thread, so it offers 32x
+  // the sweep's top rate to keep a standing backlog against the 200 us
+  // wait-p99 threshold.  Tails are over surviving ok jobs in both rows.
+  const double top_qps = qps_points.back();
+  obliv::LoadShape cancel_shape;
+  cancel_shape.cancel_every = 4;
+  add_row(obliv::run_open_loop(/*threads=*/0, top_qps, jobs, seed, nullptr,
+                               cancel_shape));
+  obliv::LoadShape shed_shape;
+  shed_shape.shed_wait_p99_ns = 200'000;
+  add_row(obliv::run_open_loop(/*threads=*/0, top_qps * 32, jobs, seed,
+                               nullptr, shed_shape));
   t.print(std::cout);
 
   // The overhead measurement rides along in the JSON (ungated here; the

@@ -29,6 +29,7 @@
 
 #include "algo/scan.hpp"
 #include "algo/sort.hpp"
+#include "sched/cancel.hpp"
 
 namespace obliv::algo {
 
@@ -166,6 +167,11 @@ constexpr std::uint64_t kLrBase = 64;
 /// distances.
 template <class Exec, class RefU64>
 void lr_base(Exec& ex, RefU64 succ, RefU64 pred, RefU64 len, RefU64 dist) {
+  // The only data-dependent serial walk in the tree: when the enclosing
+  // job is poisoned the parallel contraction phases above were skipped,
+  // so succ/pred are unspecified here -- the walk could assert or cycle.
+  // Poison is permanent, so garbage inputs imply the check fires.
+  if (sched::detail::cancel_pending()) return;
   const std::uint64_t n = succ.size();
   std::uint64_t tail = kNil;
   for (std::uint64_t v = 0; v < n; ++v) {

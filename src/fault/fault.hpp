@@ -18,7 +18,14 @@
 //   * kAllocSim / kAllocBuf / kAllocSetup -- chosen allocations (cache-sim
 //                      tables, executor buffers, scheduler setup) throw
 //                      std::bad_alloc, which the typed `make()` entry points
-//                      surface as ErrorCode::kResourceExhausted.
+//                      surface as ErrorCode::kResourceExhausted;
+//   * kCancelPoison  -- the current tree's sched::CancelToken is poisoned at
+//                      a fork or steal point, the two moments a cancel can
+//                      land most adversarially (the tree must still join
+//                      cleanly and report kCancelled);
+//   * kWatchdogStall -- the serve dispatcher sleeps a plan-chosen window
+//                      before its deadline sweep (a lagging watchdog must
+//                      delay, never corrupt, deadline enforcement).
 //
 // Determinism: decision i of a plan is a pure function of (seed, i); the
 // decision stream is drawn from an atomic counter, so a single-threaded
@@ -58,6 +65,9 @@ enum class InjectSite : std::uint8_t {
   kAllocSim,         ///< fail a cache-sim table allocation
   kAllocBuf,         ///< fail an executor buffer allocation
   kAllocSetup,       ///< fail a scheduler setup allocation / thread spawn
+  kCancelPoison,     ///< poison the current tree's CancelToken at a fork
+                     ///< or steal point (adversarial cancel delivery)
+  kWatchdogStall,    ///< delay the serve dispatcher's deadline sweep
   kCount
 };
 
@@ -73,6 +83,8 @@ inline std::string_view inject_site_name(InjectSite site) {
     case InjectSite::kAllocSim: return "alloc_sim";
     case InjectSite::kAllocBuf: return "alloc_buf";
     case InjectSite::kAllocSetup: return "alloc_setup";
+    case InjectSite::kCancelPoison: return "cancel_poison";
+    case InjectSite::kWatchdogStall: return "watchdog_stall";
     case InjectSite::kCount: break;
   }
   return "unknown";
@@ -95,6 +107,18 @@ struct FaultOptions {
     o.p[static_cast<std::size_t>(InjectSite::kWorkerStall)] = 1311;   // ~2%
     o.p[static_cast<std::size_t>(InjectSite::kWakeDrop)] = 16384;     // 25%
     o.max_stall_us = 200;
+    return o;
+  }
+
+  /// chaos() plus the cancellation-specific sites: occasional adversarial
+  /// poison delivery at fork/steal points and frequent watchdog-sweep
+  /// delays.  Used by the cancel storms and the chaos soak; kept out of
+  /// chaos() because an injected poison changes the *result* (kCancelled),
+  /// which the bit-identical-output fuzz harness must never see.
+  static FaultOptions cancel_chaos() {
+    FaultOptions o = chaos();
+    o.p[static_cast<std::size_t>(InjectSite::kCancelPoison)] = 328;      // ~0.5%
+    o.p[static_cast<std::size_t>(InjectSite::kWatchdogStall)] = 16384;   // 25%
     return o;
   }
 

@@ -34,9 +34,15 @@ enum class ErrorCode : std::uint8_t {
                         ///< cores, absurd thread counts)
   kResourceExhausted,   ///< allocation or thread-spawn failure
   kInternal,            ///< invariant breach that is a library bug
-  kCancelled,           ///< job cancelled by its owner before it ran
-  kDeadlineExceeded,    ///< job deadline passed before it could start
-  kUnavailable,         ///< server is draining and accepts no new jobs
+  kCancelled,           ///< job cancelled by its owner (queued or mid-run;
+                        ///< a mid-run cancel leaves output buffers in an
+                        ///< unspecified state)
+  kDeadlineExceeded,    ///< job deadline passed (before start, or mid-run
+                        ///< via the watchdog poison -- output buffers
+                        ///< unspecified in the latter case)
+  kUnavailable,         ///< server is draining or shedding under overload
+                        ///< (shed responses carry a retry-after hint; see
+                        ///< serve::retry_after_ms_hint)
 };
 
 inline std::string_view error_code_name(ErrorCode code) {

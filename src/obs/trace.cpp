@@ -26,6 +26,8 @@ std::string_view event_name(EventKind kind) {
     case EventKind::kJobAdmit: return "job.admit";
     case EventKind::kJobBegin: return "job.begin";
     case EventKind::kJobEnd: return "job.end";
+    case EventKind::kJobCancel: return "job.cancel";
+    case EventKind::kJobShed: return "job.shed";
   }
   return "unknown";
 }

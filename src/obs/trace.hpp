@@ -76,6 +76,12 @@ enum class EventKind : std::uint8_t {
                     ///< b=queue wait ns; detail=Family
   kJobEnd,          ///< serve job body end: a=job seq, b=run ns,
                     ///< c=ErrorCode of the result; detail=Family
+  kJobCancel,       ///< serve job poisoned mid-run (cancel or deadline):
+                    ///< a=job seq, b=poison-to-completion latency ns,
+                    ///< c=CancelToken::Reason; detail=Family
+  kJobShed,         ///< serve admission shed under overload: a=job seq
+                    ///< (0: never assigned), b=queue-wait p99 ns at the
+                    ///< shed decision, c=retry-after hint ms; detail=Family
 };
 
 /// Sentinel for kMiss.b: the miss installed into a free line, nothing was

@@ -17,6 +17,13 @@
 
 namespace obliv::sched {
 
+namespace detail {
+// See cancel.hpp: the token of the task tree the thread is currently
+// executing.  Installed by WorkStealingPool::execute() around each task
+// body and by ScopedCancelToken for direct callers.
+thread_local CancelToken* tls_cancel_token = nullptr;
+}  // namespace detail
+
 bool pin_current_thread(unsigned core) noexcept {
 #if defined(__linux__)
   cpu_set_t set;
@@ -136,6 +143,22 @@ void WorkStealingPool::run_root(Task& root) {
 
 void WorkStealingPool::fork(Task* t) {
   assert(tls_binding.pool == this);
+  // Tree-scoped cancellation: a token-less child inherits the forking
+  // thread's current token, so one set_cancel_token() at the tree root
+  // covers every descendant -- including tasks forked by thieves that
+  // stole part of the tree.  Forking is itself a poison check site: the
+  // kCancelPoison fault delivers an adversarial poison exactly here, the
+  // moment a new task becomes stealable, which is the worst point for a
+  // cancel to land (the child must still run, as a no-op, so its join
+  // completes).
+  if (t->cancel_token() == nullptr) {
+    t->set_cancel_token(detail::tls_cancel_token);
+  }
+  if (CancelToken* tok = t->cancel_token()) {
+    if (fault::inject(plan(), fault::InjectSite::kCancelPoison)) {
+      tok->poison(CancelToken::Reason::kCancelled);
+    }
+  }
   workers_[tls_binding.id]->deque.push_bottom(t);
   if constexpr (obs::kTracingCompiledIn) {
     if (obs::Tracer* tr = tracer()) {
@@ -176,13 +199,22 @@ void WorkStealingPool::execute(Task* t) {
   if (fault::FaultPlan* p = fault::enabled(plan())) {
     // Simulated preemption: hold the task hostage for a bounded window
     // before running it.  Joiners sleep on the task's state word, not on a
-    // timeout, so a stalled task delays but never deadlocks them.
-    if (p->should(fault::InjectSite::kWorkerStall)) {
+    // timeout, so a stalled task delays but never deadlocks them.  A
+    // poisoned tree is exempt: stalling work that exists only to unwind
+    // would inflate the cancellation promptness bound for no coverage.
+    if (p->should(fault::InjectSite::kWorkerStall) &&
+        !(t->cancel_token() != nullptr && t->cancel_token()->poisoned())) {
       const std::uint32_t us = p->stall_us();
       if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
     }
   }
+  // Install the task's token as this thread's current one so anchor-point
+  // checks and forked children observe it; restore before completion is
+  // published (`t` may be dead past the exchange below).
+  CancelToken* const saved_tok = detail::tls_cancel_token;
+  detail::tls_cancel_token = t->cancel_token();
   t->run();
+  detail::tls_cancel_token = saved_tok;
   // Emit before publishing completion: `t` may be dead past the exchange.
   if constexpr (obs::kTracingCompiledIn) {
     if (obs::Tracer* tr = tracer()) {
@@ -218,6 +250,17 @@ Task* WorkStealingPool::try_steal(unsigned self) {
     if (v >= n) v = 0;
     if (v == self) continue;
     if (Task* t = workers_[v]->deque.steal_top()) {
+      // Steal-victim selection is the second adversarial poison point: a
+      // cancel that lands the instant a task migrates to another worker.
+      // The stolen task still executes (its body no-ops once poisoned) so
+      // the owner's join always completes.
+      if (CancelToken* tok = t->cancel_token()) {
+        if (fault::FaultPlan* p = fault::enabled(plan())) {
+          if (p->should(fault::InjectSite::kCancelPoison)) {
+            tok->poison(CancelToken::Reason::kCancelled);
+          }
+        }
+      }
       if constexpr (obs::kTracingCompiledIn) {
         if (obs::Tracer* tr = tracer()) {
           // Histogram re-loaded (not derived from tr): a detach between
@@ -292,6 +335,23 @@ void WorkStealingPool::idle_block(Pred quit_early) {
   sleepers_.fetch_sub(1, std::memory_order_relaxed);
 }
 
+template <class Pred>
+void WorkStealingPool::idle_block_until(
+    std::chrono::steady_clock::time_point deadline, Pred quit_early) {
+  sleepers_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::unique_lock<std::mutex> lk(idle_mu_);
+    const std::uint64_t seen = epoch_.load(std::memory_order_relaxed);
+    if (!quit_early() && !stop_.load(std::memory_order_relaxed)) {
+      idle_cv_.wait_until(lk, deadline, [&] {
+        return epoch_.load(std::memory_order_relaxed) != seen ||
+               stop_.load(std::memory_order_relaxed);
+      });
+    }
+  }
+  sleepers_.fetch_sub(1, std::memory_order_relaxed);
+}
+
 void WorkStealingPool::join(Task* t) {
   assert(tls_binding.pool == this);
   const unsigned self = tls_binding.id;
@@ -319,6 +379,50 @@ void WorkStealingPool::join(Task* t) {
     t->mark_awaited();
     idle_block([&] { return t->finished() || have_stealable(); });
   }
+}
+
+bool WorkStealingPool::join_interruptible(
+    Task* t, std::chrono::steady_clock::time_point deadline,
+    const std::function<bool()>& quit) {
+  assert(tls_binding.pool == this);
+  const unsigned self = tls_binding.id;
+  auto& deque = workers_[self]->deque;
+  const auto interrupted = [&] {
+    return (quit && quit()) || std::chrono::steady_clock::now() >= deadline;
+  };
+  while (!t->finished()) {
+    // Same help loop as join(), but the quit predicate and deadline are
+    // re-polled between tasks so a dispatcher parked here can resume its
+    // watchdog/admission duties without waiting for `t`.
+    if (interrupted()) return t->finished();
+    if (fault::inject(plan(), fault::InjectSite::kPopOrder)) {
+      if (Task* s = try_steal(self)) {
+        execute(s);
+        continue;
+      }
+    }
+    if (Task* w = deque.pop_bottom()) {
+      execute(w);
+      continue;
+    }
+    if (Task* s = try_steal(self)) {
+      execute(s);
+      continue;
+    }
+    t->mark_awaited();
+    idle_block_until(deadline, [&] {
+      return t->finished() || have_stealable() || (quit && quit());
+    });
+  }
+  return true;
+}
+
+void WorkStealingPool::kick() {
+  {
+    std::lock_guard<std::mutex> lk(idle_mu_);
+    epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+  idle_cv_.notify_all();
 }
 
 void WorkStealingPool::worker_main(unsigned id) {
@@ -355,7 +459,12 @@ namespace {
 struct FnTask : Task {
   explicit FnTask(const std::function<void()>* f)
       : Task(&FnTask::invoke), fn(f) {}
-  static void invoke(Task* t) { (*static_cast<FnTask*>(t)->fn)(); }
+  // Poison check at the leaf boundary: a cancelled tree's forked bodies
+  // become no-ops, but the task itself still completes so joins drain.
+  static void invoke(Task* t) {
+    if (detail::cancel_pending()) return;
+    (*static_cast<FnTask*>(t)->fn)();
+  }
   const std::function<void()>* fn;
 };
 
@@ -365,6 +474,7 @@ struct FnTask : Task {
 void run_all_rec(WorkStealingPool& pool,
                  const std::vector<std::function<void()>>& tasks,
                  std::size_t lo, std::size_t hi) {
+  if (detail::cancel_pending()) return;
   while (hi - lo > 1) {
     const std::size_t mid = lo + (hi - lo) / 2;
     struct HalfTask : Task {
@@ -534,6 +644,12 @@ struct RangeTask : Task {
 void range_run(WorkStealingPool& pool, const RangeBody& body, std::uint64_t lo,
                std::uint64_t hi, std::uint64_t grain, std::uint64_t floor) {
   for (;;) {
+    // Poison check once per grain: the promptness bound for cancellation
+    // is therefore one sequential grain of leaf work (plus whatever chunk
+    // is already in flight on other workers -- each of which does this
+    // same check).  This covers freshly stolen RangeTasks too: their
+    // invoke() lands here before touching the body.
+    if (detail::cancel_pending()) return;
     if (hi - lo <= grain) {
       body(lo, hi);
       return;
@@ -628,6 +744,8 @@ void NativeExecutor::cgc_pfor(
     std::uint64_t lo, std::uint64_t hi, std::uint64_t words_per_iter,
     const std::function<void(std::uint64_t, std::uint64_t)>& body) {
   if (hi <= lo) return;
+  // CGC anchor point: a poisoned tree issues no further loop work.
+  if (detail::cancel_pending()) return;
   const std::uint64_t t = hi - lo;
   const std::uint64_t wpi = std::max<std::uint64_t>(1, words_per_iter);
   // Keep segments at or above the grain so fork overhead stays negligible --
@@ -673,6 +791,7 @@ void NativeExecutor::cgc_pfor_each(
 
 void NativeExecutor::sb_parallel(std::vector<SbTask> tasks) {
   if (tasks.empty()) return;
+  if (detail::cancel_pending()) return;
   // Space bound as steal cut-off: small tasks are not worth forking.
   bool all_small = true;
   for (const auto& task : tasks) {
@@ -705,6 +824,9 @@ void NativeExecutor::sb_parallel(std::vector<SbTask> tasks) {
     }
     void run_from(std::size_t i) {
       if (i == tasks->size()) return;
+      // SB anchor point: poisoned trees stop issuing bodies but keep the
+      // fork/join ladder intact (already-forked FnTasks no-op themselves).
+      if (detail::cancel_pending()) return;
       SbTask& cur = (*tasks)[i];
       if (cur.space_words > grain) {
         FnTask forked(&cur.body);
@@ -727,6 +849,7 @@ void NativeExecutor::sb_parallel2(std::uint64_t space1,
                                   const std::function<void()>& f1,
                                   std::uint64_t space2,
                                   const std::function<void()>& f2) {
+  if (detail::cancel_pending()) return;
   if (threads() == 1 || (space1 <= grain_ && space2 <= grain_)) {
     f1();
     f2();
@@ -746,11 +869,15 @@ void NativeExecutor::sb_parallel2(std::uint64_t space1,
         : Task(&Pair2::invoke), pool(&p), fa(&a), fb(&b), fork_b(fork_second) {}
     static void invoke(Task* t) {
       auto* r = static_cast<Pair2*>(t);
+      if (detail::cancel_pending()) return;
       const std::function<void()>& forked = r->fork_b ? *r->fb : *r->fa;
       const std::function<void()>& inline_fn = r->fork_b ? *r->fa : *r->fb;
       FnTask child(&forked);
       r->pool->fork(&child);
-      inline_fn();
+      // Re-check after the fork: kCancelPoison may have landed exactly
+      // there, and skipping the inline half keeps both halves symmetric
+      // under poison (the forked FnTask no-ops on its own).
+      if (!detail::cancel_pending()) inline_fn();
       r->pool->join(&child);
     }
     WorkStealingPool* pool;
@@ -767,6 +894,7 @@ void NativeExecutor::cgc_sb_pfor(
     std::uint64_t count, std::uint64_t space_words,
     const std::function<void(std::uint64_t)>& body) {
   if (count == 0) return;
+  if (detail::cancel_pending()) return;
   // CGC=>SB: `count` equal subtasks of `space_words` each.  Natively the
   // space bound sets the steal granularity -- at least ceil(grain/space)
   // subtasks per stealable unit, so a batch always covers one private

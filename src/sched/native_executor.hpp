@@ -40,6 +40,7 @@
 #include "fault/fault.hpp"
 #include "fault/status.hpp"
 #include "obs/trace.hpp"
+#include "sched/cancel.hpp"
 #include "sched/hints.hpp"
 #include "sched/ws_deque.hpp"
 #include "util/simd.hpp"
@@ -78,6 +79,16 @@ class Task {
     return state_.load(std::memory_order_acquire) == kDone;
   }
 
+  /// The cancellation token governing this task's tree, or nullptr.  Set
+  /// once at the tree root (the serve layer sets it per job before
+  /// forking); fork() propagates the forking thread's current token into
+  /// token-less children, so the whole tree shares one token without
+  /// per-task bookkeeping.  Poisoning never skips a task: a poisoned
+  /// task still runs (its body no-ops at the next check) so every join
+  /// completes and the fork/join structure stays intact.
+  CancelToken* cancel_token() const { return token_; }
+  void set_cancel_token(CancelToken* tok) { token_ = tok; }
+
   // Completion / sleeping-joiner handshake, folded into one atomic word so
   // the finisher never touches the Task after completion is visible (the
   // joiner may pop its stack frame the instant it observes kDone).  The
@@ -101,6 +112,7 @@ class Task {
  private:
   static constexpr std::uint8_t kRunning = 0, kAwaited = 1, kDone = 2;
   RunFn run_;
+  CancelToken* token_ = nullptr;
   std::atomic<std::uint8_t> state_{kRunning};
 };
 
@@ -135,6 +147,21 @@ class WorkStealingPool {
   /// while it waits; sleeps (no spin-yield) only when there is nothing to
   /// help with.
   void join(Task* t);
+
+  /// Like join(), but gives up when `deadline` passes or `quit()` turns
+  /// true at an idle point (quit is polled between tasks, never mid-task,
+  /// and may be empty).  Returns t->finished(); on false the caller is
+  /// still responsible for eventually joining `t` to completion.  Built
+  /// for layered schedulers whose dispatcher multiplexes watchdog duties
+  /// (deadline sweeps, re-admission after a cancel freed budget) with
+  /// helping the pool: the serve dispatcher is the only current caller.
+  bool join_interruptible(Task* t,
+                          std::chrono::steady_clock::time_point deadline,
+                          const std::function<bool()>& quit);
+
+  /// Wakes every blocked worker/joiner so a pending join_interruptible
+  /// re-polls its quit predicate.  Safe from any thread.
+  void kick();
 
   /// True when the current worker's deque has been emptied by thieves --
   /// the lazy-splitting signal that more parallelism is profitable.
@@ -228,6 +255,9 @@ class WorkStealingPool {
   void notify(bool everyone);
   template <class Pred>
   void idle_block(Pred quit_early);
+  template <class Pred>
+  void idle_block_until(std::chrono::steady_clock::time_point deadline,
+                        Pred quit_early);
 
   unsigned nworkers_;
   unsigned ncores_;  // hardware_concurrency, >= 1; see notify()
@@ -356,6 +386,7 @@ class NativeExecutor {
                     std::uint64_t space2, const std::function<void()>& f2);
 
   void sb_seq(std::uint64_t space_words, const std::function<void()>& body) {
+    if (detail::cancel_pending()) return;
     body();
   }
 

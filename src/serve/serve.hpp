@@ -31,6 +31,18 @@
 // (the PR 5 fuzz property, re-checked for served jobs in
 // tests/test_serve_concurrency.cpp).
 //
+// Cancellation and overload control (PR 10): every job tree carries a
+// sched::CancelToken, so cancel() works on *running* jobs too -- the tree
+// unwinds cooperatively at the executor's fork/anchor checks and completes
+// with kCancelled (output buffers unspecified).  A deadline watchdog rides
+// the dispatcher (join_interruptible: no extra thread on 1-core hosts) and
+// poisons jobs whose deadline expires mid-run (kDeadlineExceeded); the
+// poisoned job's space budget is released immediately so queued admissions
+// unblock before the unwind finishes.  When the recent queue-wait p99
+// crosses ServerOptions::shed_wait_p99_ns with a backlog present, submits
+// are shed with kUnavailable plus a retry-after hint; submit_with_retry()
+// is the matching bounded, seeded-jitter client loop.  See DESIGN.md §5h.
+//
 // Per-request observability (PR 4/7): admissions are emitted by the
 // dispatcher on ring 0 and job begin/end by the executing worker on its
 // own ring, all on the dedicated kServeLane, tagged with a dense job
@@ -55,6 +67,7 @@
 #include "fault/status.hpp"
 #include "obs/trace.hpp"
 #include "sched/native_executor.hpp"
+#include "util/rng.hpp"
 
 namespace obliv::serve {
 
@@ -165,12 +178,25 @@ struct ServerOptions {
   std::size_t queue_capacity = 64;
   /// Steal cut-off grain forwarded to the executor.
   std::uint64_t sequential_grain_words = 1 << 12;
+  /// Overload shedding: when the p99 of recent queue waits exceeds this
+  /// and a backlog exists (the queue is non-empty), submits are refused
+  /// with kUnavailable carrying a retry-after hint.  0 disables shedding.
+  /// The p99 is computed over a sliding window of the same samples that
+  /// feed the serve.job.wait_ns histogram, so a traced run can verify the
+  /// shed decisions against the exported distribution.
+  std::uint64_t shed_wait_p99_ns = 0;
+  /// Minimum wait samples before shedding may trigger (a cold server has
+  /// no latency evidence); clamped to the sliding window size (64).
+  std::uint32_t shed_min_samples = 8;
 };
 
 struct JobOptions {
-  /// Deadline for *starting* the job.  A job still queued when its
+  /// Deadline for *completing* the job.  A job still queued when its
   /// deadline passes completes with kDeadlineExceeded and never runs; a
-  /// job already admitted runs to completion (results are never torn).
+  /// running job is poisoned by the dispatcher's watchdog and unwinds at
+  /// the executor's next fork/anchor check, also completing with
+  /// kDeadlineExceeded -- its output buffers are then unspecified (the
+  /// tree stopped mid-schedule; rerun the request to get real results).
   std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
@@ -180,12 +206,22 @@ struct ServerStats {
   std::uint64_t submitted = 0;          ///< accepted submits
   std::uint64_t completed_ok = 0;       ///< ran and returned kOk
   std::uint64_t failed = 0;             ///< ran and returned an error
-  std::uint64_t rejected = 0;           ///< refused at submit
-  std::uint64_t cancelled = 0;          ///< cancelled while queued
-  std::uint64_t deadline_exceeded = 0;  ///< expired while queued
+  std::uint64_t rejected = 0;           ///< refused at submit (validation,
+                                        ///< queue full, over-budget, drain)
+  std::uint64_t shed = 0;               ///< refused under overload control
+                                        ///< (not counted in `rejected`)
+  std::uint64_t cancelled = 0;          ///< completed kCancelled (queued or
+                                        ///< mid-run, incl. injected poisons)
+  std::uint64_t cancelled_running = 0;  ///< subset of `cancelled` that was
+                                        ///< poisoned after its body started
+  std::uint64_t deadline_exceeded = 0;  ///< completed kDeadlineExceeded
+  std::uint64_t deadline_exceeded_running = 0;  ///< subset expired mid-run
   std::uint64_t space_peak_words = 0;   ///< max combined in-flight estimate
   std::uint64_t queue_peak = 0;         ///< max waiting jobs
   std::uint64_t space_budget_words = 0; ///< the configured budget
+  std::uint64_t queue_depth = 0;        ///< live gauge: jobs waiting now
+  std::uint64_t inflight = 0;           ///< live gauge: jobs admitted and
+                                        ///< not yet reaped
 };
 
 namespace detail {
@@ -199,6 +235,13 @@ struct JobState {
   std::uint64_t seq = 0;
   Family family = Family::kScan;
   std::uint64_t est_words = 0;
+
+  /// The job tree's cancellation token (installed on the root task before
+  /// fork, inherited by every descendant).  Living here -- not on the Job
+  /// -- lets handles poison a tree without touching Job lifetime.
+  sched::CancelToken token;
+  /// Sticky: set the instant the job body starts on a worker.
+  std::atomic<bool> begun{false};
 
   mutable std::mutex mu;
   mutable std::condition_variable cv;
@@ -231,14 +274,33 @@ class JobHandle {
 
   /// Blocks until the job completes; returns its Status.  Every accepted
   /// job completes eventually (drain finishes queued work; cancellation
-  /// and deadlines complete without running), so wait() cannot hang on a
-  /// live server.
+  /// and deadlines complete promptly via the poison protocol), so wait()
+  /// cannot hang on a live server.
   Status wait() const;
 
-  /// Requests cancellation.  Succeeds (returns true, job completes with
-  /// kCancelled, its algorithm never runs) only while the job is still
-  /// waiting for admission; a job that already started runs to
-  /// completion and cancel() returns false.
+  /// Timed wait.  Returns the job's final Status if it completed within
+  /// `timeout`, or a typed kUnavailable ("still running") Status on
+  /// timeout.  Never consumes the result: wait()/wait_for() may be called
+  /// again, from any copy of the handle.  (kUnavailable is unambiguous
+  /// here -- a *completed* job can never carry it, since submit-side
+  /// kUnavailable refusals produce no handle at all.)
+  Status wait_for(std::chrono::nanoseconds timeout) const;
+
+  /// True while the job body is executing (sticky start flag && !done).
+  bool running() const {
+    if (st_ == nullptr) return false;
+    if (!st_->begun.load(std::memory_order_acquire)) return false;
+    return !done();
+  }
+
+  /// Requests cancellation; returns true iff this call decided the job's
+  /// fate.  A queued job completes with kCancelled and never runs.  A
+  /// *running* job is poisoned: its task tree stops forking, unwinds at
+  /// the executor's next fork/anchor check (promptness bound: one
+  /// sequential grain per in-flight leaf), and completes with kCancelled
+  /// -- output buffers are then unspecified.  Returns false only when the
+  /// job already completed (its existing status stands).  cancel() never
+  /// blocks on job execution.
   bool cancel();
 
  private:
@@ -273,7 +335,9 @@ class Server {
 
   /// Validates and enqueues a request.  Errors: kInvalidArgument
   /// (malformed request), kResourceExhausted (queue full, or the request
-  /// alone exceeds the space budget), kUnavailable (server draining).
+  /// alone exceeds the space budget), kUnavailable (server draining, or
+  /// shedding under overload -- the shed variant carries a retry-after
+  /// hint readable via retry_after_ms_hint()).
   Result<JobHandle> submit(const Request& req, const JobOptions& jopts = {});
 
   /// Graceful drain: stops accepting submits, completes every already
@@ -299,5 +363,43 @@ class Server {
  private:
   std::shared_ptr<detail::Core> core_;
 };
+
+// ---------------------------------------------------------------------------
+// Overload-control client helpers
+// ---------------------------------------------------------------------------
+
+/// Bounded jittered-exponential retry for shed submits.  Deterministic
+/// under a fixed seed: attempt k's backoff is a pure function of
+/// (seed, k, hint), so tests can assert the exact delay sequence.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 5;          ///< total submit attempts (>= 1)
+  std::chrono::milliseconds initial_backoff{1};
+  std::chrono::milliseconds max_backoff{64};
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;  ///< jitter PRNG seed
+};
+
+/// Parses the retry-after hint (milliseconds) out of a shed kUnavailable
+/// Status; nullopt for any other Status (including drain kUnavailable,
+/// which carries no hint -- retrying a draining server is futile).
+std::optional<std::uint32_t> retry_after_ms_hint(const Status& s);
+
+/// Backoff before attempt `attempt` (1-based: the delay after the
+/// attempt'th failure).  Exponential from RetryPolicy::initial_backoff,
+/// capped at max_backoff, scaled by a jitter factor in [0.5, 1.0] drawn
+/// from `rng`, and floored at the server's retry-after hint when one was
+/// given.  Exposed separately so determinism is testable without timing.
+std::chrono::milliseconds retry_backoff(const RetryPolicy& policy,
+                                        std::uint32_t attempt,
+                                        util::Xoshiro256& rng,
+                                        std::optional<std::uint32_t> hint_ms);
+
+/// submit() with bounded retry on shed (hinted kUnavailable) responses.
+/// Sleeps retry_backoff() between attempts; returns the first
+/// non-shed outcome, or the last shed Status after max_attempts.  Drain
+/// kUnavailable and every other error return immediately (retrying cannot
+/// help them).
+Result<JobHandle> submit_with_retry(Server& server, const Request& req,
+                                    const JobOptions& jopts = {},
+                                    const RetryPolicy& policy = {});
 
 }  // namespace obliv::serve

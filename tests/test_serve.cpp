@@ -307,11 +307,18 @@ TEST(ServeErrors, CancelSemantics) {
   const bool cancelled = jb.cancel();
   const Status sb = jb.wait();
   if (cancelled) {
+    // cancel() decided the fate: queued (usual here, A holds the whole
+    // budget) or — if A finished first — mid-run.  Either way the final
+    // status is kCancelled; the buffer is only guaranteed untouched in
+    // the queued case (a mid-run poison leaves it unspecified).
     EXPECT_EQ(sb.code(), ErrorCode::kCancelled);
-    EXPECT_TRUE(bits_equal(b_before, b));  // never ran
-    EXPECT_EQ(srv.stats().cancelled, 1u);
+    const ServerStats st = srv.stats();
+    EXPECT_EQ(st.cancelled, 1u);
+    if (st.cancelled_running == 0) {
+      EXPECT_TRUE(bits_equal(b_before, b));  // never ran
+    }
   } else {
-    // Lost the race: B already started, so it must have run normally.
+    // Lost the race: B already completed, so it must have run normally.
     EXPECT_TRUE(sb.ok());
   }
   EXPECT_TRUE(ha.value().wait().ok());

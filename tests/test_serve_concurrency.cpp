@@ -7,7 +7,9 @@
 //
 //   1. Every accepted job completes exactly once, with a typed outcome —
 //      kOk (result matches an independently computed serial reference),
-//      kCancelled, or kDeadlineExceeded (buffers untouched in both).
+//      kCancelled, or kDeadlineExceeded (for those two the buffers are
+//      unspecified: since PR 10 a cancel or deadline can poison a job
+//      *mid-run*, stopping the tree part-way through its writes).
 //   2. Admission never exceeds the space budget: the serve.space_peak_words
 //      counter published at drain stays <= serve.space_budget_words.
 //   3. No starvation: every producer's wait() calls return within the
@@ -170,24 +172,24 @@ std::string check_job(ClientJob& j) {
   if (s.code() == ErrorCode::kDeadlineExceeded && !j.had_deadline) {
     return "kDeadlineExceeded without a deadline";
   }
+  // Buffer checks only for kOk: a cancelled or deadline-expired job may
+  // have been poisoned mid-run, which leaves its output unspecified (the
+  // tree stopped part-way through its schedule).
+  if (!ran) return "";
   switch (j.family) {
     case Family::kScan:
-      if (!bits_equal(j.i64, ran ? j.i64_expect : j.i64_before)) {
-        return "scan buffer mismatch";
-      }
+      if (!bits_equal(j.i64, j.i64_expect)) return "scan buffer mismatch";
       break;
     case Family::kSort:
-      if (!bits_equal(j.u64, ran ? j.u64_expect : j.u64_before)) {
-        return "sort buffer mismatch";
-      }
+      if (!bits_equal(j.u64, j.u64_expect)) return "sort buffer mismatch";
       break;
     case Family::kTranspose:
-      if (!bits_equal(j.t_out, ran ? j.t_out_expect : j.t_out_before)) {
+      if (!bits_equal(j.t_out, j.t_out_expect)) {
         return "transpose buffer mismatch";
       }
       break;
     default:
-      if (ran && !bits_equal(j.dist, j.dist_expect)) {
+      if (!bits_equal(j.dist, j.dist_expect)) {
         return "listrank buffer mismatch";
       }
       break;
@@ -281,6 +283,10 @@ TEST(ServeConcurrency, SeededMultiClientStormUnderChaos) {
   EXPECT_GT(c.value("serve.space_budget_words"), 0u);
   EXPECT_LE(c.value("serve.space_peak_words"),
             c.value("serve.space_budget_words"));
+  // The live gauges are maintained by the server itself (not recomputed
+  // at publish): after a full drain both must have returned to zero.
+  EXPECT_EQ(c.value("serve.queue_depth"), 0u);
+  EXPECT_EQ(c.value("serve.inflight"), 0u);
 
   int completed = 0;
   for (auto& mine : jobs) {

@@ -209,13 +209,17 @@ int usage() {
 // Serve job-lane summary.  Traces recorded while a serve::Server was
 // attached carry kJobAdmit/kJobBegin/kJobEnd events (job seq in `a`,
 // Family in `detail`, wait/run ns in the begin/end `b`, ErrorCode in the
-// end `c`).  A served trace may contain *only* those events -- the sim DAG
-// analysis has nothing to chew on then, but the job lane is still worth a
-// report, so this prints independently of obs::analyze().
+// end `c`), plus kJobCancel (poison-to-completion ns in `b`, poison reason
+// in `c`) for jobs condemned mid-run and kJobShed (queue-wait p99 in `b`,
+// retry hint ms in `c`) for overload refusals.  A served trace may contain
+// *only* those events -- the sim DAG analysis has nothing to chew on then,
+// but the job lane is still worth a report, so this prints independently
+// of obs::analyze().
 bool print_serve_summary(const obs::TraceData& trace) {
   struct FamilyStats {
     std::uint64_t admitted = 0, completed = 0, ok = 0;
-    std::vector<std::uint64_t> wait_ns, run_ns;
+    std::uint64_t cancelled = 0, deadline = 0, shed = 0;
+    std::vector<std::uint64_t> wait_ns, run_ns, poison_ns;
   };
   std::map<std::uint8_t, FamilyStats> fams;
   for (const obs::Event& e : trace.events) {
@@ -233,6 +237,20 @@ bool print_serve_summary(const obs::TraceData& trace) {
         fs.run_ns.push_back(e.b);
         break;
       }
+      case obs::EventKind::kJobCancel: {
+        // c carries sched::CancelToken::Reason: 1 = cancel, 2 = deadline.
+        FamilyStats& fs = fams[e.detail];
+        if (e.c == 2) {
+          fs.deadline++;
+        } else {
+          fs.cancelled++;
+        }
+        fs.poison_ns.push_back(e.b);
+        break;
+      }
+      case obs::EventKind::kJobShed:
+        fams[e.detail].shed++;
+        break;
       default:
         break;
     }
@@ -253,6 +271,7 @@ bool print_serve_summary(const obs::TraceData& trace) {
   std::printf("  %-10s %8s %8s %6s %12s %12s %12s %12s\n", "family", "admit",
               "done", "ok", "wait p50 us", "wait max us", "run p50 us",
               "run max us");
+  bool any_condemned = false, any_shed = false;
   for (auto& [fam, fs] : fams) {
     const auto f = static_cast<serve::Family>(fam);
     std::printf("  %-10s %8" PRIu64 " %8" PRIu64 " %6" PRIu64
@@ -260,6 +279,26 @@ bool print_serve_summary(const obs::TraceData& trace) {
                 std::string(serve::family_name(f)).c_str(), fs.admitted,
                 fs.completed, fs.ok, p50(fs.wait_ns), max_us(fs.wait_ns),
                 p50(fs.run_ns), max_us(fs.run_ns));
+    any_condemned |= !fs.poison_ns.empty();
+    any_shed |= fs.shed != 0;
+  }
+  // Cancellation / overload rows only when the trace has something to say
+  // (most traces have no condemned jobs and the extra table would be
+  // noise).  "poison" latencies are poison-to-completion: how fast the
+  // tree unwound once condemned.
+  if (any_condemned || any_shed) {
+    std::printf("  cancellation / overload\n");
+    std::printf("  %-10s %8s %8s %8s %14s %14s\n", "family", "cancel",
+                "dl-run", "shed", "poison p50 us", "poison max us");
+    for (auto& [fam, fs] : fams) {
+      if (fs.poison_ns.empty() && fs.shed == 0) continue;
+      const auto f = static_cast<serve::Family>(fam);
+      std::printf("  %-10s %8" PRIu64 " %8" PRIu64 " %8" PRIu64
+                  " %14.1f %14.1f\n",
+                  std::string(serve::family_name(f)).c_str(), fs.cancelled,
+                  fs.deadline, fs.shed, p50(fs.poison_ns),
+                  max_us(fs.poison_ns));
+    }
   }
   return true;
 }
